@@ -1,0 +1,73 @@
+//! Criterion bench for E9: privacy-shield decisions and signed tokens.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gupster_core::Signer;
+use gupster_policy::{Condition, Pdp, PolicyRepository, RequestContext, Rule, WeekTime};
+use gupster_xpath::Path;
+
+fn repo_with(n: usize) -> PolicyRepository {
+    let mut repo = PolicyRepository::new();
+    let scopes = [
+        "/user/presence",
+        "/user/address-book",
+        "/user/calendar",
+        "/user/wallet",
+        "/user/devices",
+    ];
+    for i in 0..n {
+        repo.put(
+            "alice",
+            Rule::permit(
+                &format!("r{i}"),
+                Path::parse(scopes[i % scopes.len()]).unwrap(),
+                Condition::parse(&format!(
+                    "relationship='rel{}' and time in Mon-Fri 09:00-18:00",
+                    i % 7
+                ))
+                .unwrap(),
+            ),
+        );
+    }
+    repo
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let pdp = Pdp::new();
+    let path = Path::parse("/user/presence").unwrap();
+    let ctx = RequestContext::query("rick", "rel3", WeekTime::at(1, 10, 0));
+    let mut group = c.benchmark_group("pdp_decide");
+    for n in [10usize, 100, 1_000, 10_000] {
+        let repo = repo_with(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| pdp.decide(&repo, "alice", &path, &ctx))
+        });
+    }
+    group.finish();
+}
+
+fn bench_condition_parse(c: &mut Criterion) {
+    c.bench_function("condition_parse", |b| {
+        b.iter(|| {
+            Condition::parse("relationship='co-worker' and time in Mon-Fri 09:00-18:00").unwrap()
+        })
+    });
+}
+
+fn bench_token(c: &mut Criterion) {
+    let signer = Signer::new(b"bench-key", 30);
+    c.bench_function("token_sign", |b| {
+        b.iter(|| signer.sign("alice", "rick", vec!["/user/presence".to_string()], 1))
+    });
+    let token = signer.sign("alice", "rick", vec!["/user/presence".to_string()], 1);
+    c.bench_function("token_verify", |b| b.iter(|| signer.verify(&token, 1).unwrap()));
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_decide, bench_condition_parse, bench_token);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! The experiment runner: regenerates every table of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p gupster-bench --bin experiments -- all
+//! cargo run --release -p gupster-bench --bin experiments -- e5 e10
+//! ```
+
+use gupster_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <e1..e14 | all>...");
+        std::process::exit(2);
+    }
+    for a in &args {
+        if !experiments::run(a) {
+            eprintln!("unknown experiment '{a}' (expected e1..e14 or all)");
+            std::process::exit(2);
+        }
+    }
+}

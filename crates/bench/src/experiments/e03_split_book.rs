@@ -1,0 +1,114 @@
+//! E3 — Figures 8 & 9: a component split across k stores; referral
+//! fan-out and client-side deep-union merge, with correctness checked
+//! against an unsplit oracle.
+
+use gupster_core::{fetch_merge, Gupster, StorePool};
+use gupster_policy::{Purpose, WeekTime};
+use gupster_schema::gup_schema;
+use gupster_store::{StoreId, XmlStore};
+use gupster_xml::{Element, MergeKeys};
+use gupster_xpath::Path;
+
+use crate::table::{bytes, print_table};
+
+/// Builds k stores each holding 1/k of a `total`-entry address book,
+/// registered under per-slice predicates, plus the registry.
+fn split_world(total: usize, k: usize) -> (Gupster, StorePool) {
+    let mut g = Gupster::new(gup_schema(), b"e3");
+    let mut pool = StorePool::new();
+    for s in 0..k {
+        let mut store = XmlStore::new(format!("store{s}.example.com"));
+        let mut doc = Element::new("user").with_attr("id", "arnaud");
+        let mut book = Element::new("address-book");
+        for i in (s..total).step_by(k) {
+            book.push_child(
+                Element::new("item")
+                    .with_attr("id", i.to_string())
+                    .with_attr("type", format!("slice{s}"))
+                    .with_child(Element::new("name").with_text(format!("Contact {i}")))
+                    .with_child(Element::new("phone").with_text(format!("908-555-{i:04}"))),
+            );
+        }
+        doc.push_child(book);
+        store.put_profile(doc).expect("has id");
+        g.register_component(
+            "arnaud",
+            Path::parse(&format!(
+                "/user[@id='arnaud']/address-book/item[@type='slice{s}']"
+            ))
+            .expect("static"),
+            StoreId::new(format!("store{s}.example.com")),
+        )
+        .expect("valid");
+        pool.add(Box::new(store));
+    }
+    (g, pool)
+}
+
+/// Runs the experiment.
+pub fn run() {
+    let keys = MergeKeys::new().with_key("item", "id");
+    let total = 120;
+    let mut rows = Vec::new();
+    for k in [1usize, 2, 4, 8] {
+        let (mut g, pool) = split_world(total, k);
+        let request = Path::parse("/user[@id='arnaud']/address-book").expect("static");
+        let t0 = std::time::Instant::now();
+        let out = g
+            .lookup("arnaud", &request, "arnaud", Purpose::Query, WeekTime::at(0, 12, 0), 0)
+            .expect("covered");
+        let lookup_us = t0.elapsed().as_micros();
+        let signer = g.signer();
+        let t1 = std::time::Instant::now();
+        let merged = fetch_merge(&pool, &out.referral, &signer, 0, &keys).expect("fetches");
+        let fetch_us = t1.elapsed().as_micros();
+        let items = merged.first().map(|m| m.children_named("item").len()).unwrap_or(0);
+        rows.push(vec![
+            k.to_string(),
+            out.referral.entries.len().to_string(),
+            out.referral.merge_required.to_string(),
+            items.to_string(),
+            (items == total).to_string(),
+            bytes(out.referral.byte_size()),
+            format!("{lookup_us}µs"),
+            format!("{fetch_us}µs"),
+        ]);
+    }
+    print_table(
+        "E3 / Figures 8–9 — split address book (120 entries over k stores)",
+        &[
+            "k stores",
+            "referral entries",
+            "merge req.",
+            "merged items",
+            "complete",
+            "referral size",
+            "lookup cpu",
+            "fetch+merge cpu",
+        ],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupster_core::fetch_merge;
+    use gupster_policy::{Purpose, WeekTime};
+
+    #[test]
+    fn merge_complete_for_all_fanouts() {
+        let keys = MergeKeys::new().with_key("item", "id");
+        for k in [1usize, 3, 5] {
+            let (mut g, pool) = split_world(30, k);
+            let request = Path::parse("/user[@id='arnaud']/address-book").unwrap();
+            let out = g
+                .lookup("arnaud", &request, "arnaud", Purpose::Query, WeekTime::at(0, 12, 0), 0)
+                .unwrap();
+            let signer = g.signer();
+            let merged = fetch_merge(&pool, &out.referral, &signer, 0, &keys).unwrap();
+            assert_eq!(merged.len(), 1, "k={k}");
+            assert_eq!(merged[0].children_named("item").len(), 30, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! E4 — §2.2: the selective reach-me service. Aggregates location, call
+//! status, presence, calendar and device data across four networks and
+//! renders a routing decision; the paper's budget is "just a few
+//! seconds", with call-delivery-class interactions in "hundreds of
+//! milliseconds" (Req. 13).
+
+use gupster_netsim::topology::ConvergedNetwork;
+use gupster_netsim::{Journey, SimTime};
+use gupster_policy::WeekTime;
+
+use crate::table::print_table;
+
+/// The routing decision for one incoming call.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Ring the office phone first.
+    OfficePhone,
+    /// Ring the softphone.
+    SoftPhone,
+    /// Ring the cell phone.
+    CellPhone,
+    /// Ring the home phone.
+    HomePhone,
+    /// Take a message.
+    VoiceMail,
+}
+
+/// Alice's §2.2 decision rules, evaluated over aggregated profile data.
+pub fn decide(time: WeekTime, presence: &str, office_busy: bool) -> Route {
+    let m = time.minute_of_day();
+    let workday = time.day() < 5;
+    let friday = time.day() == 4;
+    if friday && (9 * 60..18 * 60).contains(&m) {
+        return Route::HomePhone; // Fridays Alice works from home
+    }
+    if workday && (9 * 60..18 * 60).contains(&m) {
+        if presence == "available" {
+            return if office_busy { Route::SoftPhone } else { Route::OfficePhone };
+        }
+        return Route::CellPhone;
+    }
+    if workday && ((8 * 60..9 * 60).contains(&m) || (18 * 60..19 * 60).contains(&m)) {
+        return Route::CellPhone; // commuting
+    }
+    if presence == "offline" {
+        return Route::VoiceMail;
+    }
+    Route::CellPhone
+}
+
+/// One reach-me decision: fetch the five sources (sequentially or in
+/// parallel), then decide. Returns the wall clock.
+fn aggregate(world: &ConvergedNetwork, parallel: bool) -> SimTime {
+    let net = &world.net;
+    let from = world.gupster;
+    // (target node, request bytes, response bytes)
+    let sources = [
+        (world.sprintpcs.hlr.node, 96, 256),  // location / on-off air
+        (world.pstn.node, 96, 128),           // PSTN call status
+        (world.presence.node, 96, 128),       // IM presence
+        (world.portal.node, 128, 2048),       // calendar
+        (world.enterprise.node, 128, 1024),   // devices / corporate data
+    ];
+    let mut j = Journey::start();
+    if parallel {
+        j.parallel_rpcs(net, from, &sources);
+    } else {
+        for (to, req, resp) in sources {
+            j.rpc(net, from, to, req, resp);
+        }
+    }
+    j.compute(SimTime::millis(1)); // rule evaluation
+    j.elapsed()
+}
+
+/// Runs the experiment.
+pub fn run() {
+    let mut world = ConvergedNetwork::build(7);
+    world.populate_alice();
+
+    // Decision-latency table: sequential vs parallel aggregation.
+    const TRIALS: usize = 100;
+    let mut rows = Vec::new();
+    for (label, parallel) in [("sequential fetch", false), ("parallel fetch", true)] {
+        let mut ts: Vec<SimTime> = (0..TRIALS).map(|_| aggregate(&world, parallel)).collect();
+        ts.sort();
+        let mean = SimTime(ts.iter().map(|t| t.0).sum::<u64>() / ts.len() as u64);
+        let p95 = ts[(ts.len() * 95) / 100 - 1];
+        let within = p95 < SimTime::secs(3);
+        rows.push(vec![
+            label.to_string(),
+            mean.to_string(),
+            p95.to_string(),
+            within.to_string(),
+        ]);
+    }
+    print_table(
+        "E4 / §2.2 — selective reach-me decision latency (5 sources, 4 networks)",
+        &["strategy", "mean", "p95", "within 'a few seconds'"],
+        &rows,
+    );
+
+    // Decision correctness across the paper's scenarios.
+    let scenarios = [
+        ("Tue 11:00, available, office free", WeekTime::at(1, 11, 0), "available", false, "OfficePhone"),
+        ("Tue 11:00, available, office busy", WeekTime::at(1, 11, 0), "available", true, "SoftPhone"),
+        ("Tue 11:00, away", WeekTime::at(1, 11, 0), "away", false, "CellPhone"),
+        ("Tue 08:30 (commute)", WeekTime::at(1, 8, 30), "available", false, "CellPhone"),
+        ("Fri 14:00 (home day)", WeekTime::at(4, 14, 0), "available", false, "HomePhone"),
+        ("Sun 23:00, offline", WeekTime::at(6, 23, 0), "offline", false, "VoiceMail"),
+    ];
+    let rows: Vec<Vec<String>> = scenarios
+        .iter()
+        .map(|(label, t, presence, busy, expect)| {
+            let got = decide(*t, presence, *busy);
+            vec![label.to_string(), format!("{got:?}"), expect.to_string(), (format!("{got:?}") == *expect).to_string()]
+        })
+        .collect();
+    print_table(
+        "E4 — routing decisions for the §2.2 scenarios",
+        &["scenario", "decision", "expected", "ok"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_match_paper_rules() {
+        assert_eq!(decide(WeekTime::at(1, 11, 0), "available", false), Route::OfficePhone);
+        assert_eq!(decide(WeekTime::at(1, 11, 0), "available", true), Route::SoftPhone);
+        assert_eq!(decide(WeekTime::at(1, 8, 30), "available", false), Route::CellPhone);
+        assert_eq!(decide(WeekTime::at(4, 14, 0), "available", false), Route::HomePhone);
+        assert_eq!(decide(WeekTime::at(6, 23, 0), "offline", false), Route::VoiceMail);
+    }
+
+    #[test]
+    fn parallel_is_faster_and_within_budget() {
+        let mut world = ConvergedNetwork::build(9);
+        world.populate_alice();
+        let seq = aggregate(&world, false);
+        let par = aggregate(&world, true);
+        assert!(par < seq);
+        assert!(par < SimTime::secs(3), "{par}");
+    }
+
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

@@ -1,0 +1,127 @@
+//! E6 — §5.1.2: meta-data-manager topologies. Lookup hops & latency and
+//! the per-organization meta-data exposure (the Hailstorm argument).
+
+
+use gupster_core::mdm::MdmTopology;
+use gupster_netsim::{Domain, Network, SimTime};
+use gupster_xpath::Path;
+
+use crate::table::{f2, print_table};
+
+/// Runs the experiment.
+pub fn run() {
+    let mut net = Network::new(6);
+    let client = net.add_node("client", Domain::Client);
+    let central = net.add_node("gupster.net", Domain::Internet);
+    let wp = net.add_node("whitepages.net", Domain::Internet);
+    let carrier = net.add_node("mdm.carrier.com", Domain::Wireless);
+    let bank = net.add_node("mdm.bank.com", Domain::Internet);
+    let portal = net.add_node("mdm.portal.com", Domain::Internet);
+
+    let p = |s: &str| Path::parse(s).expect("static");
+    let components = vec![
+        p("/user/identity"),
+        p("/user/address-book"),
+        p("/user/presence"),
+        p("/user/calendar"),
+        p("/user/wallet"),
+        p("/user/applications"),
+    ];
+
+    let topologies: Vec<(&str, MdmTopology)> = vec![
+        ("centralized", MdmTopology::Centralized { node: central }),
+        (
+            "user-distributed (listed)",
+            MdmTopology::UserDistributed {
+                white_pages: wp,
+                manager_of: [("alice".to_string(), carrier)].into(),
+                unlisted: vec![],
+            },
+        ),
+        (
+            "user-distributed (unlisted+hint)",
+            MdmTopology::UserDistributed {
+                white_pages: wp,
+                manager_of: [("alice".to_string(), carrier)].into(),
+                unlisted: vec!["alice".to_string()],
+            },
+        ),
+        (
+            "hierarchical (wallet→bank, apps→portal)",
+            MdmTopology::Hierarchical {
+                white_pages: wp,
+                primary_of: [("alice".to_string(), carrier)].into(),
+                delegations: [(
+                    "alice".to_string(),
+                    vec![(p("/user/wallet"), bank), (p("/user/applications"), portal)],
+                )]
+                .into(),
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, topo) in &topologies {
+        const TRIALS: usize = 50;
+        let mut hops = 0u32;
+        let mut total = SimTime::ZERO;
+        for _ in 0..TRIALS {
+            let hint = if name.contains("unlisted") { Some(carrier) } else { None };
+            let r = topo
+                .resolve(&net, client, "alice", &p("/user/wallet/banking-information"), hint)
+                .expect("resolvable");
+            hops = r.hops;
+            total += r.latency;
+        }
+        let mean = SimTime(total.0 / 50);
+        let exposure = topo.exposure("alice", &components);
+        let max_exposure = exposure.values().cloned().fold(0.0_f64, f64::max);
+        let orgs = exposure.len();
+        rows.push(vec![
+            name.to_string(),
+            hops.to_string(),
+            mean.to_string(),
+            orgs.to_string(),
+            f2(max_exposure),
+        ]);
+    }
+    print_table(
+        "E6 / §5.1.2 — MDM topologies: wallet-metadata lookup + exposure",
+        &["topology", "hops", "mean latency", "orgs holding metadata", "max org exposure"],
+        &rows,
+    );
+    println!("  paper check: hierarchical keeps every org's exposure < 1.0 at the cost of extra hops.");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exposure_tradeoff_holds() {
+        let mut net = Network::new(1);
+        let _client = net.add_node("c", Domain::Client);
+        let central = net.add_node("central", Domain::Internet);
+        let wp = net.add_node("wp", Domain::Internet);
+        let carrier = net.add_node("carrier", Domain::Wireless);
+        let bank = net.add_node("bank", Domain::Internet);
+        let p = |s: &str| Path::parse(s).unwrap();
+        let comps = vec![p("/user/presence"), p("/user/wallet")];
+        let c = MdmTopology::Centralized { node: central };
+        let h = MdmTopology::Hierarchical {
+            white_pages: wp,
+            primary_of: [("a".to_string(), carrier)].into(),
+            delegations: [("a".to_string(), vec![(p("/user/wallet"), bank)])].into(),
+        };
+        let ce: HashMap<_, _> = c.exposure("a", &comps);
+        let he: HashMap<_, _> = h.exposure("a", &comps);
+        assert_eq!(ce[&central], 1.0);
+        assert!(he.values().all(|&v| v < 1.0));
+    }
+
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

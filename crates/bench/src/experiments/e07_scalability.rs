@@ -1,0 +1,148 @@
+//! E7 — §5.3 scalability: "GUPster does not store any data … and
+//! expects very little overhead". Measures registry lookup throughput
+//! as the population grows, the GUPster-mediated vs. direct-fetch
+//! overhead ratio, and the spurious-query filter.
+
+use std::time::Instant;
+
+use gupster_core::fetch_merge;
+use gupster_policy::{Purpose, WeekTime};
+use gupster_xml::MergeKeys;
+use gupster_xpath::Path;
+
+use crate::table::{f2, print_table};
+use crate::workload::{build_federation, rng, user_id, Zipf};
+use rand::Rng;
+
+/// Runs the experiment.
+pub fn run() {
+    // Throughput vs. population.
+    let mut rows = Vec::new();
+    for n_users in [1_000usize, 10_000, 100_000] {
+        let mut f = build_federation(n_users, 8, 3);
+        let zipf = Zipf::new(n_users, 0.99);
+        let mut r = rng(11);
+        const OPS: usize = 20_000;
+        let reqs: Vec<(String, Path)> = (0..OPS)
+            .map(|_| {
+                let u = user_id(zipf.sample(&mut r));
+                let component = ["address-book", "presence", "identity", "devices"]
+                    [r.gen_range(0..4)];
+                let p = Path::parse(&format!("/user[@id='{u}']/{component}")).expect("static");
+                (u, p)
+            })
+            .collect();
+        let t0 = Instant::now();
+        let mut issued = 0u64;
+        for (u, p) in &reqs {
+            if f.gupster.lookup(u, p, u, Purpose::Query, WeekTime::at(0, 12, 0), 0).is_ok() {
+                issued += 1;
+            }
+        }
+        let dt = t0.elapsed();
+        let kops = issued as f64 / dt.as_secs_f64() / 1000.0;
+        let regs = f.gupster.stats.registrations;
+        rows.push(vec![
+            n_users.to_string(),
+            regs.to_string(),
+            format!("{kops:.0} kops/s"),
+            format!("{:.1}µs", dt.as_micros() as f64 / issued as f64),
+        ]);
+    }
+    print_table(
+        "E7 / §5.3 — registry lookup throughput vs. population (Zipf 0.99)",
+        &["users", "registrations", "lookup throughput", "mean lookup latency"],
+        &rows,
+    );
+
+    // Mediated vs. direct overhead.
+    let mut f = build_federation(10_000, 8, 10);
+    let keys = MergeKeys::new().with_key("item", "id");
+    let u = user_id(42);
+    let req = Path::parse(&format!("/user[@id='{u}']/address-book")).expect("static");
+    const TRIALS: usize = 2_000;
+
+    let out = f
+        .gupster
+        .lookup(&u, &req, &u, Purpose::Query, WeekTime::at(0, 12, 0), 0)
+        .expect("covered");
+    let store_id = out.referral.entries[0].store.clone();
+
+    let t0 = Instant::now();
+    for _ in 0..TRIALS {
+        let store = f.pool.get(&store_id).expect("exists");
+        let r = store.query(&req).expect("queries");
+        assert_eq!(r.len(), 1);
+    }
+    let direct = t0.elapsed();
+
+    let signer = f.gupster.signer();
+    let t1 = Instant::now();
+    for i in 0..TRIALS {
+        let out = f
+            .gupster
+            .lookup(&u, &req, &u, Purpose::Query, WeekTime::at(0, 12, 0), i as u64)
+            .expect("covered");
+        let r = fetch_merge(&f.pool, &out.referral, &signer, i as u64, &keys).expect("fetches");
+        assert_eq!(r.len(), 1);
+    }
+    let mediated = t1.elapsed();
+    let overhead = mediated.as_secs_f64() / direct.as_secs_f64();
+
+    print_table(
+        "E7 — GUPster-mediated fetch vs. direct store fetch (10k users, 10-entry books)",
+        &["mode", "total (2000 ops)", "per op"],
+        &[
+            vec![
+                "direct store query".into(),
+                format!("{direct:?}"),
+                format!("{:.1}µs", direct.as_micros() as f64 / TRIALS as f64),
+            ],
+            vec![
+                "GUPster lookup + token + fetch + merge".into(),
+                format!("{mediated:?}"),
+                format!("{:.1}µs", mediated.as_micros() as f64 / TRIALS as f64),
+            ],
+            vec!["overhead ratio".into(), f2(overhead), "-".into()],
+        ],
+    );
+
+    // Spurious-query filter.
+    let before = f.gupster.stats.spurious;
+    let bad = [
+        "/user/mp3-collection",
+        "/account/balance",
+        "/user/address-book/entry",
+        "/user/presence/deep/nesting",
+    ];
+    for b in &bad {
+        let _ = f.gupster.lookup(&u, &Path::parse(b).expect("parses"), &u, Purpose::Query, WeekTime::at(0, 12, 0), 0);
+    }
+    println!(
+        "  spurious-query filter: {}/{} off-schema requests rejected before any store was touched",
+        f.gupster.stats.spurious - before,
+        bad.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_modest() {
+        // The §5.3 claim: mediation adds little over direct access.
+        let mut f = build_federation(1_000, 4, 5);
+        let keys = MergeKeys::new().with_key("item", "id");
+        let u = user_id(7);
+        let req = Path::parse(&format!("/user[@id='{u}']/address-book")).unwrap();
+        let out = f
+            .gupster
+            .lookup(&u, &req, &u, Purpose::Query, WeekTime::at(0, 12, 0), 0)
+            .unwrap();
+        let signer = f.gupster.signer();
+        let r = fetch_merge(&f.pool, &out.referral, &signer, 0, &keys).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].children_named("item").len(), 5);
+    }
+}

@@ -1,0 +1,184 @@
+//! E8 — §6: the LDAP (Netscape roaming-profile) baseline vs. GUPster's
+//! XML model. Three comparisons from the paper's own text:
+//!
+//! 1. partial access — "these opaque objects can only be accessed
+//!    (retrieved or updated) as a whole": bytes to update one entry;
+//! 2. cross-component query — "combining calendar information with
+//!    address book information to find the phone number of the people I
+//!    am having a meeting with": impossible across opaque blobs without
+//!    fetching everything;
+//! 3. typed comparison — the phone-number normalization both worlds need.
+
+use gupster_directory::{AttributeSyntax, RoamingStore};
+use gupster_store::{DataStore, UpdateOp, XmlStore};
+use gupster_xml::{parse, Element};
+use gupster_xpath::Path;
+
+use crate::table::{bytes, print_table};
+use crate::workload::profile_with_contacts;
+
+use gupster_directory::BlobKind;
+
+/// Runs the experiment.
+pub fn run() {
+    // 1. Partial access cost vs. book size.
+    let mut rows = Vec::new();
+    for n in [10usize, 100, 1000] {
+        let doc = profile_with_contacts("alice", n);
+        let book = doc.child("address-book").expect("built").clone();
+        let blob = book.to_xml();
+
+        // LDAP/roaming: whole blob read + whole blob write.
+        let mut roaming = RoamingStore::new("netscape");
+        roaming.create_user("alice").expect("fresh");
+        roaming.put_blob("alice", BlobKind::AddressBook, &blob).expect("fits");
+        let (r0, w0) = (roaming.bytes_read, roaming.bytes_written);
+        roaming
+            .update_within_blob("alice", BlobKind::AddressBook, |b| b.replacen("Contact 0", "Renamed", 1))
+            .expect("present");
+        let blob_cost = (roaming.bytes_read - r0) + (roaming.bytes_written - w0);
+
+        // GUPster: a targeted XPath update.
+        let mut store = XmlStore::new("gup.yahoo.com");
+        store.put_profile(doc).expect("id");
+        let path = Path::parse("/user/address-book/item[@id='1']/name").expect("static");
+        let op = UpdateOp::SetText(path.clone(), "Renamed".into());
+        // Cost: the op itself (path + value) plus a small ack.
+        let xml_cost = path.to_string().len() + "Renamed".len() + 64;
+        store.update("alice", &op).expect("applies");
+
+        rows.push(vec![
+            n.to_string(),
+            bytes(blob.len()),
+            bytes(blob_cost as usize),
+            bytes(xml_cost),
+            format!("{:.0}x", blob_cost as f64 / xml_cost as f64),
+        ]);
+    }
+    print_table(
+        "E8a / §6 — update one address-book entry: roaming blob vs. GUPster XML",
+        &["entries", "book size", "LDAP blob bytes moved", "XML update bytes", "blob/XML"],
+        &rows,
+    );
+
+    // 2. Cross-component query: phones of today's meeting attendees.
+    let (result, xml_bytes) = attendee_phones_xml();
+    let blob_bytes = attendee_phones_blob_cost();
+    print_table(
+        "E8b / §6 — 'phone numbers of the people I'm meeting' (calendar ⨝ address-book)",
+        &["model", "expressible", "bytes fetched", "answer"],
+        &[
+            vec![
+                "GUPster XML (two component queries + join)".into(),
+                "yes".into(),
+                bytes(xml_bytes),
+                result.join(", "),
+            ],
+            vec![
+                "LDAP opaque blobs".into(),
+                "only by fetching both whole blobs".into(),
+                bytes(blob_bytes),
+                "(client must parse proprietary formats)".into(),
+            ],
+        ],
+    );
+
+    // 3. Typed comparison parity.
+    let ldap_eq = AttributeSyntax::Telephone.eq("908-582-4393", "(908) 582-4393");
+    let xml_eq = gupster_schema::DataType::PhoneNumber.values_equal("908-582-4393", "(908) 582-4393");
+    print_table(
+        "E8c / §6 — typed phone-number comparison (the LDAP feature GUPster keeps)",
+        &["model", "'908-582-4393' == '(908) 582-4393'"],
+        &[
+            vec!["LDAP telephoneNumber syntax".into(), ldap_eq.to_string()],
+            vec!["GUPster phone-number datatype".into(), xml_eq.to_string()],
+        ],
+    );
+}
+
+/// The XML-side join: ask for today's attendees, then their phones.
+fn attendee_phones_xml() -> (Vec<String>, usize) {
+    let mut store = XmlStore::new("gup.yahoo.com");
+    store.put_profile(demo_profile()).expect("id");
+    let attendees_path = Path::parse("/user/calendar/event[@id='e1']/attendee").expect("static");
+    let attendees = store.query(&attendees_path).expect("queries");
+    let mut fetched: usize = attendees.iter().map(Element::byte_size).sum();
+    let mut phones = Vec::new();
+    for a in &attendees {
+        let name = a.text();
+        let p = Path::parse(&format!("/user/address-book/item[name='{name}']/phone"))
+            .expect("parses");
+        let r = store.query(&p).expect("queries");
+        fetched += r.iter().map(Element::byte_size).sum::<usize>();
+        phones.extend(r.iter().map(|e| e.text()));
+    }
+    (phones, fetched)
+}
+
+/// The blob-side cost: both whole blobs must come down.
+fn attendee_phones_blob_cost() -> usize {
+    let profile = demo_profile();
+    let book = profile.child("address-book").expect("built").to_xml();
+    let cal = profile.child("calendar").expect("built").to_xml();
+    let mut roaming = RoamingStore::new("netscape");
+    roaming.create_user("alice").expect("fresh");
+    roaming.put_blob("alice", BlobKind::AddressBook, &book).expect("fits");
+    roaming.put_blob("alice", BlobKind::Prefs, &cal).expect("fits");
+    let r0 = roaming.bytes_read;
+    roaming.get_blob("alice", BlobKind::AddressBook).expect("present");
+    roaming.get_blob("alice", BlobKind::Prefs).expect("present");
+    (roaming.bytes_read - r0) as usize
+}
+
+fn demo_profile() -> Element {
+    parse(
+        r#"<user id="alice">
+             <address-book>
+               <item id="1" type="corporate"><name>Rick Hull</name><phone>908-582-4393</phone></item>
+               <item id="2" type="corporate"><name>Ming Xiong</name><phone>908-582-7777</phone></item>
+               <item id="3" type="personal"><name>Mom</name><phone>908-555-0101</phone></item>
+             </address-book>
+             <calendar>
+               <event id="e1"><subject>Design review</subject><start>2003-01-06T10:00</start><attendee>Rick Hull</attendee><attendee>Ming Xiong</attendee></event>
+             </calendar>
+           </user>"#,
+    )
+    .expect("static")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_join_finds_both_phones() {
+        let (phones, fetched) = attendee_phones_xml();
+        assert_eq!(phones, vec!["908-582-4393", "908-582-7777"]);
+        assert!(fetched < attendee_phones_blob_cost(), "partial access must be cheaper");
+    }
+
+    #[test]
+    fn blob_update_cost_scales_with_book_size() {
+        // The defining drawback: a 1-entry edit costs O(book).
+        let small = cost(10);
+        let large = cost(1000);
+        assert!(large > small * 20, "small={small} large={large}");
+
+        fn cost(n: usize) -> u64 {
+            let doc = profile_with_contacts("alice", n);
+            let blob = doc.child("address-book").unwrap().to_xml();
+            let mut r = RoamingStore::new("netscape");
+            r.create_user("alice").unwrap();
+            r.put_blob("alice", BlobKind::AddressBook, &blob).unwrap();
+            r.update_within_blob("alice", BlobKind::AddressBook, |b| {
+                b.replacen("Contact 0", "Renamed", 1)
+            })
+            .unwrap()
+        }
+    }
+
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

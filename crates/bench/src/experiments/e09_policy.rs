@@ -1,0 +1,143 @@
+//! E9 — §4.6 / §5.3: privacy-shield decision cost vs. rule-set size,
+//! and the signed-query protocol overhead ("offering an expressive
+//! framework with good enough performance is clearly a challenge").
+
+use std::time::Instant;
+
+use gupster_core::Signer;
+use gupster_policy::{Condition, Pdp, PolicyRepository, RequestContext, Rule, WeekTime};
+use gupster_xpath::Path;
+
+use crate::table::print_table;
+use crate::workload::rng;
+use rand::Rng;
+
+const COMPONENTS: [&str; 8] = [
+    "/user/presence",
+    "/user/address-book",
+    "/user/address-book/item[@type='personal']",
+    "/user/calendar",
+    "/user/devices",
+    "/user/wallet",
+    "/user/identity",
+    "/user/locations",
+];
+const RELATIONSHIPS: [&str; 5] = ["co-worker", "boss", "family", "friend", "third-party"];
+
+fn random_rules(n: usize, seed: u64) -> PolicyRepository {
+    let mut repo = PolicyRepository::new();
+    let mut r = rng(seed);
+    for i in 0..n {
+        let scope = Path::parse(COMPONENTS[r.gen_range(0..COMPONENTS.len())]).expect("static");
+        let rel = RELATIONSHIPS[r.gen_range(0..RELATIONSHIPS.len())];
+        let h1 = r.gen_range(0..23);
+        let cond = Condition::parse(&format!(
+            "relationship='{rel}' and time in Mon-Fri {h1:02}:00-{:02}:59",
+            (h1 + 1).min(23)
+        ))
+        .expect("static grammar");
+        let rule = if r.gen_bool(0.8) {
+            Rule::permit(&format!("r{i}"), scope, cond)
+        } else {
+            Rule::deny(&format!("r{i}"), scope, cond)
+        };
+        repo.put("alice", rule);
+    }
+    repo
+}
+
+/// Runs the experiment.
+pub fn run() {
+    let pdp = Pdp::new();
+    let mut rows = Vec::new();
+    for n_rules in [10usize, 100, 1_000, 10_000] {
+        let repo = random_rules(n_rules, 31);
+        let mut r = rng(77);
+        const OPS: usize = 5_000;
+        let requests: Vec<(Path, RequestContext)> = (0..OPS)
+            .map(|_| {
+                let path =
+                    Path::parse(COMPONENTS[r.gen_range(0..COMPONENTS.len())]).expect("static");
+                let ctx = RequestContext::query(
+                    "rick",
+                    RELATIONSHIPS[r.gen_range(0..RELATIONSHIPS.len())],
+                    WeekTime::at(r.gen_range(0..7), r.gen_range(0..24), 0),
+                );
+                (path, ctx)
+            })
+            .collect();
+        let t0 = Instant::now();
+        let mut permits = 0usize;
+        for (path, ctx) in &requests {
+            if pdp.decide(&repo, "alice", path, ctx).allows_anything() {
+                permits += 1;
+            }
+        }
+        let dt = t0.elapsed();
+        rows.push(vec![
+            n_rules.to_string(),
+            format!("{:.1}µs", dt.as_micros() as f64 / OPS as f64),
+            format!("{:.0} kdec/s", OPS as f64 / dt.as_secs_f64() / 1000.0),
+            format!("{:.1}%", permits as f64 / OPS as f64 * 100.0),
+        ]);
+    }
+    print_table(
+        "E9 / §4.6 — privacy-shield decision cost vs. rule-set size",
+        &["rules/user", "mean decision", "throughput", "permit rate"],
+        &rows,
+    );
+
+    // Signed-query protocol overhead.
+    let signer = Signer::new(b"e9-key", 30);
+    const OPS: usize = 20_000;
+    let t0 = Instant::now();
+    let mut tokens = Vec::with_capacity(OPS);
+    for i in 0..OPS {
+        tokens.push(signer.sign("alice", "rick", vec!["/user/presence".to_string()], i as u64));
+    }
+    let sign_dt = t0.elapsed();
+    let t1 = Instant::now();
+    for (i, t) in tokens.iter().enumerate() {
+        signer.verify(t, i as u64).expect("fresh");
+    }
+    let verify_dt = t1.elapsed();
+    print_table(
+        "E9 — signed-query protocol overhead (HMAC-SHA256 + freshness)",
+        &["operation", "per op", "throughput"],
+        &[
+            vec![
+                "sign (GUPster side)".into(),
+                format!("{:.2}µs", sign_dt.as_micros() as f64 / OPS as f64),
+                format!("{:.0} kops/s", OPS as f64 / sign_dt.as_secs_f64() / 1000.0),
+            ],
+            vec![
+                "verify (data-store side)".into(),
+                format!("{:.2}µs", verify_dt.as_micros() as f64 / OPS as f64),
+                format!("{:.0} kops/s", OPS as f64 / verify_dt.as_secs_f64() / 1000.0),
+            ],
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_rule_sets_decide_consistently() {
+        let repo = random_rules(200, 5);
+        let pdp = Pdp::new();
+        let path = Path::parse("/user/presence").unwrap();
+        let ctx = RequestContext::query("rick", "boss", WeekTime::at(1, 10, 0));
+        let a = pdp.decide(&repo, "alice", &path, &ctx);
+        let b = pdp.decide(&repo, "alice", &path, &ctx);
+        assert_eq!(a, b, "decisions are deterministic");
+    }
+
+    #[test]
+    fn runs_small() {
+        // Smoke-run the harness pieces cheaply.
+        let repo = random_rules(50, 1);
+        assert_eq!(repo.count_for("alice"), 50);
+    }
+}

@@ -1,0 +1,112 @@
+//! E13 — §6: XPath containment cost (the registry's hot path). Decision
+//! latency vs. expression depth and predicate count, and coverage-match
+//! throughput vs. registrations per user.
+
+use std::time::Instant;
+
+use gupster_core::CoverageMap;
+use gupster_store::StoreId;
+use gupster_xpath::{contains, Path};
+
+use crate::table::print_table;
+
+fn chain(depth: usize, preds: usize, descend: bool) -> Path {
+    let mut s = String::new();
+    for d in 0..depth {
+        s.push_str(if descend && d == depth / 2 { "//" } else { "/" });
+        s.push_str(&format!("n{d}"));
+        for p in 0..preds {
+            s.push_str(&format!("[@a{p}='v{p}']"));
+        }
+    }
+    Path::parse(&s).expect("generated")
+}
+
+/// Runs the experiment.
+pub fn run() {
+    let mut rows = Vec::new();
+    for depth in [2usize, 4, 8, 16, 32] {
+        for preds in [0usize, 2, 4] {
+            let p = chain(depth, preds, false);
+            let q = chain(depth, 0, false); // weaker: p ⊑ q
+            let pd = chain(depth, preds, true);
+            const OPS: usize = 50_000;
+            let t0 = Instant::now();
+            for _ in 0..OPS {
+                assert!(contains(&p, &q));
+            }
+            let core_dt = t0.elapsed();
+            let t1 = Instant::now();
+            for _ in 0..OPS {
+                let _ = contains(&pd, &q);
+            }
+            let desc_dt = t1.elapsed();
+            rows.push(vec![
+                depth.to_string(),
+                preds.to_string(),
+                format!("{:.0}ns", core_dt.as_nanos() as f64 / OPS as f64),
+                format!("{:.0}ns", desc_dt.as_nanos() as f64 / OPS as f64),
+            ]);
+        }
+    }
+    print_table(
+        "E13 / §6 — containment decision cost (core fragment vs. with //)",
+        &["depth", "preds/step", "core", "descendant"],
+        &rows,
+    );
+
+    // Coverage matching throughput vs. registrations.
+    let mut rows = Vec::new();
+    for n_entries in [4usize, 16, 64, 256] {
+        let mut cov = CoverageMap::new();
+        for i in 0..n_entries {
+            cov.register(
+                Path::parse(&format!("/user[@id='a']/address-book/item[@type='t{i}']"))
+                    .expect("generated"),
+                StoreId::new(format!("store{i}")),
+            );
+        }
+        let request = Path::parse("/user[@id='a']/address-book").expect("static");
+        const OPS: usize = 20_000;
+        let t0 = Instant::now();
+        let mut matched = 0usize;
+        for _ in 0..OPS {
+            matched += cov.match_request(&request).partial.len();
+        }
+        let dt = t0.elapsed();
+        assert_eq!(matched, n_entries * OPS);
+        rows.push(vec![
+            n_entries.to_string(),
+            format!("{:.1}µs", dt.as_micros() as f64 / OPS as f64),
+            format!("{:.0} kmatch/s", OPS as f64 / dt.as_secs_f64() / 1000.0),
+        ]);
+    }
+    print_table(
+        "E13b — coverage matching vs. registrations per user",
+        &["registrations", "per request", "throughput"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupster_xpath::covers;
+
+    #[test]
+    fn generated_chains_behave() {
+        let p = chain(6, 2, false);
+        let q = chain(6, 0, false);
+        assert!(contains(&p, &q));
+        assert!(!contains(&q, &p));
+        assert!(covers(&q, &p));
+        let d = chain(6, 0, true);
+        assert!(contains(&q, &d), "child chain contained in its // weakening");
+    }
+
+    #[test]
+    fn runs_small() {
+        let p = chain(3, 1, false);
+        assert_eq!(p.steps.len(), 3);
+    }
+}

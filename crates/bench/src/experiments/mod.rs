@@ -1,0 +1,46 @@
+//! The per-experiment harness (DESIGN.md §4). Each `eN::run()` prints
+//! the tables for that experiment; `run_all` runs the suite in order.
+
+pub mod e01_placement;
+pub mod e02_referral_flow;
+pub mod e03_split_book;
+pub mod e04_reach_me;
+pub mod e05_patterns;
+pub mod e06_mdm;
+pub mod e07_scalability;
+pub mod e08_ldap_vs_xml;
+pub mod e09_policy;
+pub mod e10_push_pull;
+pub mod e11_sync;
+pub mod e12_hlr;
+pub mod e13_containment;
+pub mod e14_cache;
+pub mod e15_reliability;
+
+/// Runs one experiment by id (`e1`…`e15`), or `all`.
+pub fn run(which: &str) -> bool {
+    match which {
+        "e1" => e01_placement::run(),
+        "e2" => e02_referral_flow::run(),
+        "e3" => e03_split_book::run(),
+        "e4" => e04_reach_me::run(),
+        "e5" => e05_patterns::run(),
+        "e6" => e06_mdm::run(),
+        "e7" => e07_scalability::run(),
+        "e8" => e08_ldap_vs_xml::run(),
+        "e9" => e09_policy::run(),
+        "e10" => e10_push_pull::run(),
+        "e11" => e11_sync::run(),
+        "e12" => e12_hlr::run(),
+        "e13" => e13_containment::run(),
+        "e14" => e14_cache::run(),
+        "e15" => e15_reliability::run(),
+        "all" => {
+            for i in 1..=15 {
+                run(&format!("e{i}"));
+            }
+        }
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,72 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders a titled table with aligned columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!();
+    println!("== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a byte count human-readably.
+pub fn bytes(n: usize) -> String {
+    if n >= 1_048_576 {
+        format!("{:.2}MB", n as f64 / 1_048_576.0)
+    } else if n >= 1024 {
+        format!("{:.1}KB", n as f64 / 1024.0)
+    } else {
+        format!("{n}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.239), "1.24");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(bytes(512), "512B");
+        assert_eq!(bytes(2048), "2.0KB");
+        assert_eq!(bytes(3 * 1_048_576), "3.00MB");
+    }
+
+    #[test]
+    fn table_renders_without_panic() {
+        print_table(
+            "smoke",
+            &["a", "b"],
+            &[vec!["1".into(), "hello".into()], vec!["22".into(), "x".into()]],
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Result caching with invalidation-on-update (§5.3: "GUPster can also
+//! offer some caching services", "GUPster should probably also offer
+//! some caching to make the access to user profile components faster").
+
+use std::collections::HashMap;
+
+use gupster_xml::Element;
+use gupster_xpath::{may_overlap, Path};
+
+/// An LRU cache of merged query results, keyed by (user, path).
+///
+/// Invalidation: when a store reports a change at some path for a user,
+/// every cached entry whose path overlaps it is dropped — the trigger
+/// mechanism Req. 7 asks for ("triggers to indicate when data has
+/// become stale").
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    /// Key → (result, last-use tick, path for invalidation).
+    entries: HashMap<(String, String), CacheEntry>,
+    tick: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Entries dropped by invalidation.
+    pub invalidations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    result: Vec<Element>,
+    last_use: u64,
+    path: Path,
+}
+
+impl ResultCache {
+    /// A cache bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    fn key(user: &str, path: &Path) -> (String, String) {
+        (user.to_string(), path.to_string())
+    }
+
+    /// Looks up a cached result.
+    pub fn get(&mut self, user: &str, path: &Path) -> Option<Vec<Element>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&Self::key(user, path)) {
+            Some(e) => {
+                e.last_use = tick;
+                self.hits += 1;
+                Some(e.result.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a result, evicting the least-recently-used entry when
+    /// full.
+    pub fn put(&mut self, user: &str, path: &Path, result: Vec<Element>) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity
+            && !self.entries.contains_key(&Self::key(user, path))
+        {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(
+            Self::key(user, path),
+            CacheEntry { result, last_use: self.tick, path: path.clone() },
+        );
+    }
+
+    /// Invalidates every entry of `user` overlapping `changed`. Returns
+    /// how many entries were dropped.
+    pub fn invalidate(&mut self, user: &str, changed: &Path) -> usize {
+        let victims: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|((u, _), e)| u == user && may_overlap(&e.path, changed))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for v in &victims {
+            self.entries.remove(v);
+        }
+        self.invalidations += victims.len() as u64;
+        victims.len()
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit ratio so far (0.0 when unused).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A caching front end over the full lookup+fetch pipeline.
+///
+/// Cache keys include the **requester**: serving one principal's cached
+/// result to another would bypass the privacy shield. Entries also
+/// carry the decision time and expire after `ttl` seconds, bounding how
+/// long a *time-conditioned* permission (e.g. "co-workers during
+/// working hours") can outlive its window; store-update invalidations
+/// arrive through [`CachedClient::pump_invalidations`].
+#[derive(Debug)]
+pub struct CachedClient {
+    cache: ResultCache,
+    /// Seconds a permitted result may be served from cache.
+    pub ttl: u64,
+    expiry: HashMap<(String, String), u64>,
+}
+
+impl CachedClient {
+    /// A client with the given cache capacity and TTL (seconds).
+    pub fn new(capacity: usize, ttl: u64) -> Self {
+        CachedClient { cache: ResultCache::new(capacity), ttl, expiry: HashMap::new() }
+    }
+
+    fn key_user(owner: &str, requester: &str) -> String {
+        format!("{owner}\u{0}{requester}")
+    }
+
+    /// Looks up and fetches through the cache. On a hit, no shield
+    /// check, no referral, no store traffic; on a miss the full
+    /// pipeline runs (with [`gupster_policy::Purpose::Cache`], so owners
+    /// can forbid caching requesters outright).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch(
+        &mut self,
+        gupster: &mut crate::registry::Gupster,
+        pool: &crate::client::StorePool,
+        owner: &str,
+        request: &Path,
+        requester: &str,
+        time: gupster_policy::WeekTime,
+        now: u64,
+        keys: &gupster_xml::MergeKeys,
+    ) -> Result<Vec<Element>, crate::error::GupsterError> {
+        let cache_user = Self::key_user(owner, requester);
+        if let Some(hit) = self.cache.get(&cache_user, request) {
+            let fresh = self
+                .expiry
+                .get(&(cache_user.clone(), request.to_string()))
+                .is_some_and(|&exp| now < exp);
+            if fresh {
+                return Ok(hit);
+            }
+            self.cache.invalidate(&cache_user, request);
+        }
+        let out = gupster.lookup(
+            owner,
+            request,
+            requester,
+            gupster_policy::Purpose::Cache,
+            time,
+            now,
+        )?;
+        let signer = gupster.signer();
+        let result = crate::client::fetch_merge(pool, &out.referral, &signer, now, keys)?;
+        self.cache.put(&cache_user, request, result.clone());
+        self.expiry.insert((cache_user, request.to_string()), now + self.ttl);
+        Ok(result)
+    }
+
+    /// Drains store change events and invalidates overlapping entries
+    /// for **every** requester's view of the changed owner (the trigger
+    /// of Req. 7). Returns the number of entries dropped.
+    pub fn pump_invalidations(&mut self, pool: &mut crate::client::StorePool) -> usize {
+        let mut dropped = 0;
+        for (_store, event) in pool.drain_all_events() {
+            // Invalidate all requester-scoped keys for this owner.
+            let owners: Vec<String> = self
+                .expiry
+                .keys()
+                .map(|(u, _)| u.clone())
+                .filter(|u| u.starts_with(&format!("{}\u{0}", event.user)))
+                .collect();
+            for u in owners {
+                dropped += self.cache.invalidate(&u, &event.path);
+            }
+        }
+        dropped
+    }
+
+    /// Cache statistics (hits, misses, invalidations).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupster_xml::parse;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn result(s: &str) -> Vec<Element> {
+        vec![parse(s).unwrap()]
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get("a", &p("/user/presence")).is_none());
+        c.put("a", &p("/user/presence"), result("<presence>online</presence>"));
+        let r = c.get("a", &p("/user/presence")).unwrap();
+        assert_eq!(r[0].text(), "online");
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_user_keys() {
+        let mut c = ResultCache::new(4);
+        c.put("a", &p("/user/presence"), result("<presence>a</presence>"));
+        assert!(c.get("b", &p("/user/presence")).is_none());
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = ResultCache::new(2);
+        c.put("a", &p("/user/presence"), result("<presence>1</presence>"));
+        c.put("a", &p("/user/calendar"), result("<calendar/>"));
+        // Touch presence so calendar is the LRU.
+        c.get("a", &p("/user/presence"));
+        c.put("a", &p("/user/devices"), result("<devices/>"));
+        assert!(c.get("a", &p("/user/presence")).is_some());
+        assert!(c.get("a", &p("/user/calendar")).is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn invalidation_by_overlap() {
+        let mut c = ResultCache::new(8);
+        c.put("a", &p("/user/address-book"), result("<address-book/>"));
+        c.put("a", &p("/user/address-book/item[@type='personal']"), result("<item/>"));
+        c.put("a", &p("/user/presence"), result("<presence/>"));
+        c.put("b", &p("/user/address-book"), result("<address-book/>"));
+        // A change inside a's address book kills both book entries but
+        // not presence, and not b's book.
+        let n = c.invalidate("a", &p("/user/address-book/item[@id='3']"));
+        assert_eq!(n, 2);
+        assert!(c.get("a", &p("/user/presence")).is_some());
+        assert!(c.get("b", &p("/user/address-book")).is_some());
+        assert!(c.get("a", &p("/user/address-book")).is_none());
+        assert_eq!(c.invalidations, 2);
+    }
+
+    mod cached_client {
+        use super::super::CachedClient;
+        use crate::client::StorePool;
+        use crate::registry::Gupster;
+        use gupster_policy::{Effect, WeekTime};
+        use gupster_schema::gup_schema;
+        use gupster_store::{DataStore, StoreId, UpdateOp, XmlStore};
+        use gupster_xml::{parse, MergeKeys};
+        use gupster_xpath::Path;
+
+        fn p(s: &str) -> Path {
+            Path::parse(s).unwrap()
+        }
+
+        fn world() -> (Gupster, StorePool) {
+            let mut g = Gupster::new(gup_schema(), b"cc");
+            let mut s = XmlStore::new("gup.spcs.com");
+            s.put_profile(
+                parse(r#"<user id="alice"><presence>online</presence></user>"#).unwrap(),
+            )
+            .unwrap();
+            s.drain_events();
+            g.register_component(
+                "alice",
+                p("/user[@id='alice']/presence"),
+                StoreId::new("gup.spcs.com"),
+            )
+            .unwrap();
+            let mut pool = StorePool::new();
+            pool.add(Box::new(s));
+            (g, pool)
+        }
+
+        #[test]
+        fn second_fetch_hits_and_skips_shield() {
+            let (mut g, pool) = world();
+            let mut cc = CachedClient::new(16, 60);
+            let keys = MergeKeys::new();
+            let req = p("/user[@id='alice']/presence");
+            let t = WeekTime::at(0, 10, 0);
+            cc.fetch(&mut g, &pool, "alice", &req, "alice", t, 0, &keys).unwrap();
+            let lookups_after_first = g.stats.lookups;
+            let r = cc.fetch(&mut g, &pool, "alice", &req, "alice", t, 1, &keys).unwrap();
+            assert_eq!(r[0].text(), "online");
+            assert_eq!(g.stats.lookups, lookups_after_first, "hit must not touch GUPster");
+            assert_eq!(cc.cache().hits, 1);
+        }
+
+        #[test]
+        fn cache_never_crosses_requesters() {
+            let (mut g, pool) = world();
+            g.set_relationship("alice", "rick", "co-worker");
+            g.pap
+                .provision("alice", "cw", Effect::Permit, "/user/presence", "relationship='co-worker'", 0)
+                .unwrap();
+            let mut cc = CachedClient::new(16, 60);
+            let keys = MergeKeys::new();
+            let req = p("/user[@id='alice']/presence");
+            let t = WeekTime::at(0, 10, 0);
+            // rick populates the cache…
+            cc.fetch(&mut g, &pool, "alice", &req, "rick", t, 0, &keys).unwrap();
+            // …but mallory must still be refused, not served rick's copy.
+            let err = cc.fetch(&mut g, &pool, "alice", &req, "mallory", t, 1, &keys);
+            assert!(err.is_err());
+        }
+
+        #[test]
+        fn ttl_expires_time_conditioned_permissions() {
+            let (mut g, pool) = world();
+            let mut cc = CachedClient::new(16, 10);
+            let keys = MergeKeys::new();
+            let req = p("/user[@id='alice']/presence");
+            let t = WeekTime::at(0, 10, 0);
+            cc.fetch(&mut g, &pool, "alice", &req, "alice", t, 0, &keys).unwrap();
+            let lookups = g.stats.lookups;
+            // Within TTL: hit.
+            cc.fetch(&mut g, &pool, "alice", &req, "alice", t, 5, &keys).unwrap();
+            assert_eq!(g.stats.lookups, lookups);
+            // Past TTL: full pipeline again.
+            cc.fetch(&mut g, &pool, "alice", &req, "alice", t, 11, &keys).unwrap();
+            assert_eq!(g.stats.lookups, lookups + 1);
+        }
+
+        #[test]
+        fn store_update_invalidates_before_stale_read() {
+            let (mut g, mut pool) = world();
+            let mut cc = CachedClient::new(16, 600);
+            let keys = MergeKeys::new();
+            let req = p("/user[@id='alice']/presence");
+            let t = WeekTime::at(0, 10, 0);
+            cc.fetch(&mut g, &pool, "alice", &req, "alice", t, 0, &keys).unwrap();
+            pool.update(
+                &StoreId::new("gup.spcs.com"),
+                "alice",
+                &UpdateOp::SetText(p("/user/presence"), "busy".into()),
+            )
+            .unwrap();
+            let dropped = cc.pump_invalidations(&mut pool);
+            assert_eq!(dropped, 1);
+            let r = cc.fetch(&mut g, &pool, "alice", &req, "alice", t, 1, &keys).unwrap();
+            assert_eq!(r[0].text(), "busy", "must re-fetch, not serve stale");
+        }
+    }
+
+    #[test]
+    fn replace_does_not_evict_others() {
+        let mut c = ResultCache::new(2);
+        c.put("a", &p("/user/presence"), result("<presence>1</presence>"));
+        c.put("a", &p("/user/calendar"), result("<calendar/>"));
+        c.put("a", &p("/user/presence"), result("<presence>2</presence>"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a", &p("/user/presence")).unwrap()[0].text(), "2");
+        assert!(c.get("a", &p("/user/calendar")).is_some());
+    }
+}

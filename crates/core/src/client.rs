@@ -1,0 +1,366 @@
+//! Client-side fetch-and-merge: using a referral to get the data
+//! directly from the stores (§4.3: "The client application will then use
+//! the referral (one of them, or both) to get the data directly from the
+//! GUP data stores").
+
+use std::collections::BTreeMap;
+
+use gupster_store::{DataStore, StoreError, StoreId, UpdateOp};
+use gupster_xml::{merge, Element, MergeKeys};
+
+use crate::error::GupsterError;
+use crate::referral::Referral;
+use crate::token::Signer;
+
+/// The set of live data stores, keyed by store id. In deployment these
+/// are remote machines; here they are trait objects the harness owns.
+#[derive(Default)]
+pub struct StorePool {
+    stores: BTreeMap<StoreId, Box<dyn DataStore>>,
+}
+
+impl std::fmt::Debug for StorePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorePool").field("stores", &self.stores.keys().collect::<Vec<_>>()).finish()
+    }
+}
+
+impl StorePool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a store.
+    pub fn add(&mut self, store: Box<dyn DataStore>) {
+        self.stores.insert(store.id().clone(), store);
+    }
+
+    /// Immutable access.
+    pub fn get(&self, id: &StoreId) -> Option<&dyn DataStore> {
+        self.stores.get(id).map(|b| b.as_ref())
+    }
+
+    /// Mutable access.
+    pub fn get_mut(&mut self, id: &StoreId) -> Option<&mut (dyn DataStore + '_)> {
+        match self.stores.get_mut(id) {
+            Some(b) => Some(b.as_mut()),
+            None => None,
+        }
+    }
+
+    /// All store ids.
+    pub fn ids(&self) -> Vec<StoreId> {
+        self.stores.keys().cloned().collect()
+    }
+
+    /// Applies an update to one store.
+    pub fn update(
+        &mut self,
+        id: &StoreId,
+        user: &str,
+        op: &UpdateOp,
+    ) -> Result<(), StoreError> {
+        match self.stores.get_mut(id) {
+            Some(s) => s.update(user, op),
+            None => Err(StoreError::Backend(format!("no such store: {id}"))),
+        }
+    }
+
+    /// Drains change events from every store.
+    pub fn drain_all_events(&mut self) -> Vec<(StoreId, gupster_store::ChangeEvent)> {
+        let mut out = Vec::new();
+        for (id, s) in &mut self.stores {
+            for e in s.drain_events() {
+                out.push((id.clone(), e));
+            }
+        }
+        out
+    }
+}
+
+/// Executes a referral against the pool: verifies the signed query the
+/// way each data store would, fetches, and merges fragments that denote
+/// the same logical component.
+///
+/// For a choice referral (`||`) only the first alternative is consulted;
+/// for a merge referral every fragment source is fetched and same-
+/// identity fragments are deep-unioned (Fig. 9's "way to merge the two
+/// XML fragments").
+pub fn fetch_merge(
+    pool: &StorePool,
+    referral: &Referral,
+    store_signer: &Signer,
+    now: u64,
+    keys: &MergeKeys,
+) -> Result<Vec<Element>, GupsterError> {
+    // Every store checks the token before answering (§5.3).
+    store_signer
+        .verify(&referral.token, now)
+        .map_err(|e| GupsterError::Token(e.to_string()))?;
+
+    let mut fragments: Vec<Element> = Vec::new();
+    if referral.merge_required {
+        // Every fragment source must answer (there is no alternative
+        // holding the same fragment unless it was listed as a choice).
+        for entry in &referral.entries {
+            let store = pool.get(&entry.store).ok_or_else(|| {
+                GupsterError::Store(format!("store {} unreachable", entry.store))
+            })?;
+            let got =
+                store.query(&entry.path).map_err(|e| GupsterError::Store(e.to_string()))?;
+            fragments.extend(got);
+        }
+    } else {
+        // Choice referral (`||`): the alternatives are interchangeable —
+        // fail over down the list (Req. 12 reliability: any replica
+        // answers).
+        let mut last_err = None;
+        let mut served = false;
+        for entry in referral.choices() {
+            match pool.get(&entry.store) {
+                None => {
+                    last_err =
+                        Some(GupsterError::Store(format!("store {} unreachable", entry.store)));
+                }
+                Some(store) => match store.query(&entry.path) {
+                    Ok(got) => {
+                        fragments.extend(got);
+                        served = true;
+                        break;
+                    }
+                    Err(e) => last_err = Some(GupsterError::Store(e.to_string())),
+                },
+            }
+        }
+        if !served {
+            return Err(last_err
+                .unwrap_or_else(|| GupsterError::Store("referral had no choices".into())));
+        }
+    }
+
+    // Merge fragments denoting the same logical node.
+    let mut out: Vec<Element> = Vec::new();
+    'next: for frag in fragments {
+        for existing in &mut out {
+            if existing.name == frag.name && keys.identity(existing) == keys.identity(&frag) {
+                match merge(existing, &frag, keys) {
+                    Ok(m) => {
+                        *existing = m;
+                        continue 'next;
+                    }
+                    Err(_) => {
+                        // Conflicting copies from different stores: keep
+                        // both; reconciliation (Req. 6) is a separate
+                        // concern handled by gupster-sync.
+                    }
+                }
+            }
+        }
+        out.push(frag);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Gupster;
+    use gupster_policy::{Purpose, WeekTime};
+    use gupster_schema::gup_schema;
+    use gupster_store::XmlStore;
+    use gupster_xml::parse;
+    use gupster_xpath::Path;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn keys() -> MergeKeys {
+        MergeKeys::new().with_key("item", "id")
+    }
+
+    /// Builds the full Fig. 8/9 scenario: split address book, end to end
+    /// through registry → referral → fetch → merge.
+    fn split_world() -> (Gupster, StorePool) {
+        let mut g = Gupster::new(gup_schema(), b"k");
+        let mut yahoo = XmlStore::new("gup.yahoo.com");
+        yahoo
+            .put_profile(
+                parse(
+                    r#"<user id="arnaud"><address-book><item id="1" type="personal"><name>Mom</name></item><item id="2" type="personal"><name>Bob</name></item></address-book></user>"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut lucent = XmlStore::new("gup.lucent.com");
+        lucent
+            .put_profile(
+                parse(
+                    r#"<user id="arnaud"><address-book><item id="3" type="corporate"><name>Rick</name></item></address-book></user>"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        g.register_component(
+            "arnaud",
+            p("/user[@id='arnaud']/address-book/item[@type='personal']"),
+            StoreId::new("gup.yahoo.com"),
+        )
+        .unwrap();
+        g.register_component(
+            "arnaud",
+            p("/user[@id='arnaud']/address-book/item[@type='corporate']"),
+            StoreId::new("gup.lucent.com"),
+        )
+        .unwrap();
+        yahoo.drain_events();
+        lucent.drain_events();
+        let mut pool = StorePool::new();
+        pool.add(Box::new(yahoo));
+        pool.add(Box::new(lucent));
+        (g, pool)
+    }
+
+    #[test]
+    fn end_to_end_split_book_merge() {
+        let (mut g, pool) = split_world();
+        let out = g
+            .lookup(
+                "arnaud",
+                &p("/user[@id='arnaud']/address-book"),
+                "arnaud",
+                Purpose::Query,
+                WeekTime::at(0, 12, 0),
+                100,
+            )
+            .unwrap();
+        assert!(out.referral.merge_required);
+        let signer = g.signer();
+        let merged = fetch_merge(&pool, &out.referral, &signer, 110, &keys()).unwrap();
+        // One merged address-book containing all three items.
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].name, "address-book");
+        assert_eq!(merged[0].children_named("item").len(), 3);
+    }
+
+    #[test]
+    fn expired_token_refused_by_stores() {
+        let (mut g, pool) = split_world();
+        let out = g
+            .lookup(
+                "arnaud",
+                &p("/user[@id='arnaud']/address-book"),
+                "arnaud",
+                Purpose::Query,
+                WeekTime::at(0, 12, 0),
+                100,
+            )
+            .unwrap();
+        let signer = g.signer();
+        let err = fetch_merge(&pool, &out.referral, &signer, 100 + 31, &keys());
+        assert!(matches!(err, Err(GupsterError::Token(_))));
+    }
+
+    #[test]
+    fn tampered_referral_refused() {
+        let (mut g, pool) = split_world();
+        let mut out = g
+            .lookup(
+                "arnaud",
+                &p("/user[@id='arnaud']/address-book"),
+                "arnaud",
+                Purpose::Query,
+                WeekTime::at(0, 12, 0),
+                100,
+            )
+            .unwrap();
+        out.referral.token.user = "victim".into();
+        let signer = g.signer();
+        assert!(matches!(
+            fetch_merge(&pool, &out.referral, &signer, 100, &keys()),
+            Err(GupsterError::Token(_))
+        ));
+    }
+
+    #[test]
+    fn choice_referral_uses_one_store() {
+        let mut g = Gupster::new(gup_schema(), b"k");
+        let mut s1 = XmlStore::new("s1");
+        s1.put_profile(parse(r#"<user id="a"><presence>online</presence></user>"#).unwrap())
+            .unwrap();
+        let mut s2 = XmlStore::new("s2");
+        s2.put_profile(parse(r#"<user id="a"><presence>online</presence></user>"#).unwrap())
+            .unwrap();
+        g.register_component("a", p("/user[@id='a']/presence"), StoreId::new("s1")).unwrap();
+        g.register_component("a", p("/user[@id='a']/presence"), StoreId::new("s2")).unwrap();
+        let mut pool = StorePool::new();
+        pool.add(Box::new(s1));
+        pool.add(Box::new(s2));
+        let out = g
+            .lookup("a", &p("/user[@id='a']/presence"), "a", Purpose::Query, WeekTime::at(0, 0, 0), 0)
+            .unwrap();
+        let signer = g.signer();
+        let r = fetch_merge(&pool, &out.referral, &signer, 0, &keys()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].text(), "online");
+    }
+
+    #[test]
+    fn choice_referral_fails_over_to_surviving_replica() {
+        let mut g = Gupster::new(gup_schema(), b"k");
+        let mut s2 = XmlStore::new("s2");
+        s2.put_profile(parse(r#"<user id="a"><presence>online</presence></user>"#).unwrap())
+            .unwrap();
+        // s1 is registered but never added to the pool — it is "down".
+        g.register_component("a", p("/user[@id='a']/presence"), StoreId::new("s1")).unwrap();
+        g.register_component("a", p("/user[@id='a']/presence"), StoreId::new("s2")).unwrap();
+        let mut pool = StorePool::new();
+        pool.add(Box::new(s2));
+        let out = g
+            .lookup("a", &p("/user[@id='a']/presence"), "a", Purpose::Query, WeekTime::at(0, 0, 0), 0)
+            .unwrap();
+        assert_eq!(out.referral.choices().count(), 2);
+        let signer = g.signer();
+        let r = fetch_merge(&pool, &out.referral, &signer, 0, &keys()).unwrap();
+        assert_eq!(r[0].text(), "online");
+    }
+
+    #[test]
+    fn missing_store_is_an_error() {
+        let (mut g, _) = split_world();
+        let out = g
+            .lookup(
+                "arnaud",
+                &p("/user[@id='arnaud']/address-book"),
+                "arnaud",
+                Purpose::Query,
+                WeekTime::at(0, 12, 0),
+                0,
+            )
+            .unwrap();
+        let empty = StorePool::new();
+        let signer = g.signer();
+        assert!(matches!(
+            fetch_merge(&empty, &out.referral, &signer, 0, &keys()),
+            Err(GupsterError::Store(_))
+        ));
+    }
+
+    #[test]
+    fn pool_update_and_events() {
+        let (_, mut pool) = split_world();
+        pool.update(
+            &StoreId::new("gup.yahoo.com"),
+            "arnaud",
+            &UpdateOp::SetText(p("/user/address-book/item[@id='1']/name"), "Mother".into()),
+        )
+        .unwrap();
+        let events = pool.drain_all_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, StoreId::new("gup.yahoo.com"));
+        assert!(pool
+            .update(&StoreId::new("ghost"), "arnaud", &UpdateOp::Delete(p("/user/presence")))
+            .is_err());
+    }
+}

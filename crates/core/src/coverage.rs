@@ -1,0 +1,198 @@
+//! The coverage map: "a mapping between sub-trees of the GUP schema
+//! (expressed as XPath expressions) and data-stores" (§4.3/§4.5).
+
+use gupster_store::StoreId;
+use gupster_xpath::{covers, may_overlap, Path};
+
+/// How a request matched the registered coverage.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoverageMatch {
+    /// Stores whose registered component fully covers the request; each
+    /// can answer it alone ("choice", the paper's `||`). Paired with the
+    /// path the store should be asked (the request itself).
+    pub full: Vec<(StoreId, Path)>,
+    /// Stores holding only part of the request (e.g. the personal /
+    /// corporate address-book splits of Fig. 9), paired with the
+    /// narrower registered path. Their fragments must be merged.
+    pub partial: Vec<(StoreId, Path)>,
+}
+
+impl CoverageMatch {
+    /// True when nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.full.is_empty() && self.partial.is_empty()
+    }
+}
+
+/// Per-user coverage: the list of (component path, stores) registrations.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    entries: Vec<(Path, Vec<StoreId>)>,
+}
+
+impl CoverageMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a store as holding the component at `path`.
+    /// Idempotent per (path, store).
+    pub fn register(&mut self, path: Path, store: StoreId) {
+        match self.entries.iter_mut().find(|(p, _)| *p == path) {
+            Some((_, stores)) => {
+                if !stores.contains(&store) {
+                    stores.push(store);
+                }
+            }
+            None => self.entries.push((path, vec![store])),
+        }
+    }
+
+    /// Unregisters a store from a component; returns whether anything
+    /// was removed. Empty entries are dropped.
+    pub fn unregister(&mut self, path: &Path, store: &StoreId) -> bool {
+        let mut removed = false;
+        if let Some((_, stores)) = self.entries.iter_mut().find(|(p, _)| p == path) {
+            let before = stores.len();
+            stores.retain(|s| s != store);
+            removed = stores.len() != before;
+        }
+        self.entries.retain(|(_, stores)| !stores.is_empty());
+        removed
+    }
+
+    /// Removes *every* registration of a store (carrier-switch churn,
+    /// §2.1). Returns how many entries were affected.
+    pub fn unregister_store(&mut self, store: &StoreId) -> usize {
+        let mut n = 0;
+        for (_, stores) in &mut self.entries {
+            let before = stores.len();
+            stores.retain(|s| s != store);
+            n += before - stores.len();
+        }
+        self.entries.retain(|(_, stores)| !stores.is_empty());
+        n
+    }
+
+    /// All registrations.
+    pub fn entries(&self) -> &[(Path, Vec<StoreId>)] {
+        &self.entries
+    }
+
+    /// Number of (path → store) pairs.
+    pub fn registration_count(&self) -> usize {
+        self.entries.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// Matches a request path against the coverage (§4.5 semantics):
+    /// a store fully serves the request when its registered path
+    /// *covers* it; it partially serves when the registered path merely
+    /// overlaps (is a fragment of) the request.
+    pub fn match_request(&self, request: &Path) -> CoverageMatch {
+        let mut m = CoverageMatch::default();
+        for (path, stores) in &self.entries {
+            if covers(path, request) {
+                for s in stores {
+                    m.full.push((s.clone(), request.clone()));
+                }
+            } else if may_overlap(path, request) {
+                for s in stores {
+                    m.partial.push((s.clone(), path.clone()));
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn sid(s: &str) -> StoreId {
+        StoreId::new(s)
+    }
+
+    #[test]
+    fn paper_section_4_3_coverage() {
+        // §4.3: Yahoo! and SprintPCS both hold Arnaud's address book;
+        // SprintPCS alone holds his presence.
+        let mut cov = CoverageMap::new();
+        cov.register(p("/user[@id='arnaud']/address-book"), sid("gup.yahoo.com"));
+        cov.register(p("/user[@id='arnaud']/address-book"), sid("gup.spcs.com"));
+        cov.register(p("/user[@id='arnaud']/presence"), sid("gup.spcs.com"));
+
+        let m = cov.match_request(&p("/user[@id='arnaud']/address-book"));
+        assert_eq!(m.full.len(), 2, "both stores can answer: choice referral");
+        assert!(m.partial.is_empty());
+
+        let m = cov.match_request(&p("/user[@id='arnaud']/presence"));
+        assert_eq!(m.full.len(), 1);
+        assert_eq!(m.full[0].0, sid("gup.spcs.com"));
+
+        let m = cov.match_request(&p("/user[@id='arnaud']/calendar"));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn figure_9_split_book() {
+        let mut cov = CoverageMap::new();
+        cov.register(
+            p("/user[@id='arnaud']/address-book/item[@type='personal']"),
+            sid("gup.yahoo.com"),
+        );
+        cov.register(
+            p("/user[@id='arnaud']/address-book/item[@type='corporate']"),
+            sid("gup.lucent.com"),
+        );
+        // Whole-book request: both stores are partial sources.
+        let m = cov.match_request(&p("/user[@id='arnaud']/address-book"));
+        assert!(m.full.is_empty());
+        assert_eq!(m.partial.len(), 2);
+        // The partial entries carry the *narrower* registered paths.
+        assert!(m.partial.iter().any(|(s, path)| s == &sid("gup.yahoo.com")
+            && path.to_string().contains("personal")));
+        // A request for just the corporate split: Lucent fully covers.
+        let m = cov.match_request(&p("/user[@id='arnaud']/address-book/item[@type='corporate']"));
+        assert_eq!(m.full.len(), 1);
+        assert_eq!(m.full[0].0, sid("gup.lucent.com"));
+        assert!(m.partial.is_empty());
+    }
+
+    #[test]
+    fn deeper_request_fully_covered() {
+        let mut cov = CoverageMap::new();
+        cov.register(p("/user[@id='a']/address-book"), sid("s1"));
+        let m = cov.match_request(&p("/user[@id='a']/address-book/item[@id='7']/phone"));
+        assert_eq!(m.full.len(), 1);
+    }
+
+    #[test]
+    fn register_idempotent_unregister_works() {
+        let mut cov = CoverageMap::new();
+        cov.register(p("/user/presence"), sid("s1"));
+        cov.register(p("/user/presence"), sid("s1"));
+        assert_eq!(cov.registration_count(), 1);
+        assert!(cov.unregister(&p("/user/presence"), &sid("s1")));
+        assert!(!cov.unregister(&p("/user/presence"), &sid("s1")));
+        assert!(cov.match_request(&p("/user/presence")).is_empty());
+    }
+
+    #[test]
+    fn unregister_store_everywhere() {
+        let mut cov = CoverageMap::new();
+        cov.register(p("/user/presence"), sid("gup.spcs.com"));
+        cov.register(p("/user/address-book"), sid("gup.spcs.com"));
+        cov.register(p("/user/address-book"), sid("gup.yahoo.com"));
+        assert_eq!(cov.unregister_store(&sid("gup.spcs.com")), 2);
+        let m = cov.match_request(&p("/user/address-book"));
+        assert_eq!(m.full.len(), 1);
+        assert_eq!(m.full[0].0, sid("gup.yahoo.com"));
+        assert!(cov.match_request(&p("/user/presence")).is_empty());
+    }
+}

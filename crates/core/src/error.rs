@@ -1,0 +1,46 @@
+//! Error type for GUPster server operations.
+
+use std::fmt;
+
+/// Errors surfaced by the GUPster server and client helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GupsterError {
+    /// The request path does not fit the GUP schema — a "spurious
+    /// query" filtered before any work happens (§5.3).
+    SpuriousQuery(String),
+    /// The privacy shield refused the request.
+    AccessDenied {
+        /// The profile owner.
+        owner: String,
+        /// The requester.
+        requester: String,
+    },
+    /// No data store has registered anything overlapping the request.
+    NoCoverage(String),
+    /// The user is unknown to this meta-data manager.
+    UnknownUser(String),
+    /// A data-store fetch failed.
+    Store(String),
+    /// Token verification failed at a store.
+    Token(String),
+    /// Fragments could not be merged.
+    Merge(String),
+}
+
+impl fmt::Display for GupsterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GupsterError::SpuriousQuery(p) => write!(f, "query does not fit the GUP schema: {p}"),
+            GupsterError::AccessDenied { owner, requester } => {
+                write!(f, "access denied: {requester} → {owner}")
+            }
+            GupsterError::NoCoverage(p) => write!(f, "no registered coverage for {p}"),
+            GupsterError::UnknownUser(u) => write!(f, "unknown user: {u}"),
+            GupsterError::Store(e) => write!(f, "data store error: {e}"),
+            GupsterError::Token(e) => write!(f, "token error: {e}"),
+            GupsterError::Merge(e) => write!(f, "merge error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GupsterError {}

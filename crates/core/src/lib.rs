@@ -1,0 +1,50 @@
+//! # gupster-core
+//!
+//! The GUPster server — "GUPster is to user profile components what
+//! Napster was to music files" (§4.1 of the paper).
+//!
+//! Data stores **register** the profile components they hold; the server
+//! maintains per-user **coverage** (XPath → data stores, §4.5) and
+//! access-control metadata. Client applications send a request and get
+//! back a **referral** — "GUPster does not return any data, just a
+//! referral to be used by the client application" (§4.3) — after the
+//! privacy shield rewrote the request and the server **signed and
+//! time-stamped** it so data stores accept only GUPster-blessed queries
+//! (§5.3 Security).
+//!
+//! The crate also implements the paper's §5 variations:
+//!
+//! * [`patterns`] — referral vs. **chaining** vs. **recruiting**
+//!   distributed-query patterns (§5.2), executed over the simulated
+//!   converged network with full latency/byte accounting;
+//! * [`subs`] — push subscriptions vs. polling (§5.2);
+//! * [`cache`] — result caching with invalidation-on-update (§5.3);
+//! * [`mdm`] — centralized vs. user-distributed (white pages, listed or
+//!   unlisted) vs. hierarchical meta-data management (§5.1.2).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+mod client;
+pub mod constellation;
+mod coverage;
+mod error;
+pub mod mdm;
+pub mod patterns;
+pub mod provenance;
+mod referral;
+mod registry;
+mod sha256;
+pub mod subs;
+mod token;
+
+pub use client::{fetch_merge, StorePool};
+pub use constellation::Constellation;
+pub use coverage::{CoverageMap, CoverageMatch};
+pub use provenance::{Disclosure, ProvenanceLog};
+pub use error::GupsterError;
+pub use referral::{Referral, ReferralEntry};
+pub use registry::{Gupster, LookupOutcome, RegistryStats};
+pub use sha256::{hmac_sha256, sha256_hex};
+pub use token::{SignedQuery, Signer, TokenError};

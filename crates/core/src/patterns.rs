@@ -1,0 +1,381 @@
+//! Distributed query patterns: referral, chaining, recruiting (§5.2).
+//!
+//! "Offering a larger variety of distributed query patterns like
+//! chaining, referral, recruiting (where the request is actually
+//! migrated to a different node) will be needed" — especially for thin
+//! clients (a cell phone) that cannot merge fragments themselves.
+//!
+//! All three patterns produce the *same answer*; they move different
+//! bytes across different links. The executor runs the real registry +
+//! stores for correctness and charges the simulated network for costs,
+//! so experiment E5 reports both.
+
+use std::collections::HashMap;
+
+use gupster_netsim::{Journey, Network, NodeId, SimTime};
+use gupster_policy::{Purpose, WeekTime};
+use gupster_store::StoreId;
+use gupster_xml::{Element, MergeKeys};
+use gupster_xpath::Path;
+
+use crate::client::{fetch_merge, StorePool};
+use crate::error::GupsterError;
+use crate::registry::Gupster;
+
+/// Which §5.2 pattern to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPattern {
+    /// GUPster returns a referral; the client fetches and merges.
+    Referral,
+    /// GUPster fetches from the stores, merges, and returns data.
+    Chaining,
+    /// The request migrates to a capable data store, which fetches the
+    /// other fragments, merges, and answers the client directly.
+    Recruiting,
+}
+
+/// The measured execution of one pattern.
+#[derive(Debug, Clone)]
+pub struct PatternRun {
+    /// The merged result (identical across patterns).
+    pub result: Vec<Element>,
+    /// End-to-end wall clock.
+    pub wall: SimTime,
+    /// Result/fragment payload bytes that crossed the *client's* access
+    /// link (thin clients care about exactly this).
+    pub client_bytes: usize,
+    /// Fragment bytes that flowed *through GUPster* (its scalability
+    /// story depends on this staying near zero, §5.3).
+    pub gupster_bytes: usize,
+    /// Total one-way messages.
+    pub messages: u64,
+}
+
+/// Executes query patterns over a simulated network.
+#[derive(Debug)]
+pub struct PatternExecutor<'a> {
+    /// The network to charge.
+    pub net: &'a Network,
+    /// The client's node.
+    pub client: NodeId,
+    /// GUPster's node.
+    pub gupster_node: NodeId,
+    /// Where each store lives.
+    pub store_nodes: HashMap<StoreId, NodeId>,
+}
+
+/// Local merge throughput: ~100 MB/s ⇒ 10 µs per KB.
+fn merge_cost(bytes: usize) -> SimTime {
+    SimTime::micros((bytes as u64).div_ceil(1024) * 10)
+}
+
+impl<'a> PatternExecutor<'a> {
+    fn store_node(&self, id: &StoreId) -> Result<NodeId, GupsterError> {
+        self.store_nodes
+            .get(id)
+            .copied()
+            .ok_or_else(|| GupsterError::Store(format!("no node for store {id}")))
+    }
+
+    /// Runs one pattern end to end.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute(
+        &self,
+        pattern: QueryPattern,
+        gupster: &mut Gupster,
+        pool: &StorePool,
+        owner: &str,
+        request: &Path,
+        requester: &str,
+        time: WeekTime,
+        now: u64,
+        keys: &MergeKeys,
+    ) -> Result<PatternRun, GupsterError> {
+        let m0 = self.net.metrics();
+        let mut journey = Journey::start();
+
+        // Client → GUPster: the lookup (all patterns start here).
+        let request_bytes = request.to_string().len() + 64;
+        let out = gupster.lookup(owner, request, requester, Purpose::Query, time, now)?;
+        let referral = &out.referral;
+        let signer = gupster.signer();
+
+        // The fragments and their sizes (correctness via the real pool).
+        let entries: Vec<_> = if referral.merge_required {
+            referral.entries.iter().collect()
+        } else {
+            referral.choices().take(1).collect()
+        };
+        let mut frag_bytes: Vec<(NodeId, usize)> = Vec::new();
+        for e in &entries {
+            let store =
+                pool.get(&e.store).ok_or_else(|| GupsterError::Store(e.store.to_string()))?;
+            frag_bytes.push((self.store_node(&e.store)?, store.result_bytes(&e.path)));
+        }
+        let total_frag_bytes: usize = frag_bytes.iter().map(|(_, b)| b).sum();
+        let result = fetch_merge(pool, referral, &signer, now, keys)?;
+        let result_bytes: usize = result.iter().map(Element::byte_size).sum();
+
+        let (client_bytes, gupster_bytes) = match pattern {
+            QueryPattern::Referral => {
+                // Lookup RPC returns the referral…
+                journey.rpc(self.net, self.client, self.gupster_node, request_bytes, referral.byte_size());
+                // …then the client fetches all fragments in parallel…
+                let calls: Vec<(NodeId, usize, usize)> = frag_bytes
+                    .iter()
+                    .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
+                    .collect();
+                journey.parallel_rpcs(self.net, self.client, &calls);
+                // …and merges locally.
+                journey.compute(merge_cost(total_frag_bytes));
+                (total_frag_bytes, 0)
+            }
+            QueryPattern::Chaining => {
+                // Client sends the request; GUPster fans out, merges,
+                // returns the result.
+                journey.send(self.net, self.client, self.gupster_node, request_bytes);
+                let calls: Vec<(NodeId, usize, usize)> = frag_bytes
+                    .iter()
+                    .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
+                    .collect();
+                journey.parallel_rpcs(self.net, self.gupster_node, &calls);
+                journey.compute(merge_cost(total_frag_bytes));
+                journey.send(self.net, self.gupster_node, self.client, result_bytes);
+                (result_bytes, total_frag_bytes)
+            }
+            QueryPattern::Recruiting => {
+                // Pick the first capable store as the executor; the
+                // request migrates there.
+                let executor = entries
+                    .iter()
+                    .find(|e| {
+                        pool.get(&e.store)
+                            .map(|s| s.capabilities().can_chain)
+                            .unwrap_or(false)
+                    })
+                    .map(|e| e.store.clone())
+                    .unwrap_or_else(|| entries[0].store.clone());
+                let exec_node = self.store_node(&executor)?;
+                journey.send(self.net, self.client, self.gupster_node, request_bytes);
+                journey.send(self.net, self.gupster_node, exec_node, referral.byte_size());
+                // Executor fetches the *other* fragments in parallel.
+                let calls: Vec<(NodeId, usize, usize)> = frag_bytes
+                    .iter()
+                    .filter(|(node, _)| *node != exec_node)
+                    .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
+                    .collect();
+                journey.parallel_rpcs(self.net, exec_node, &calls);
+                journey.compute(merge_cost(total_frag_bytes));
+                journey.send(self.net, exec_node, self.client, result_bytes);
+                (result_bytes, 0)
+            }
+        };
+
+        let m1 = self.net.metrics();
+        Ok(PatternRun {
+            result,
+            wall: journey.elapsed(),
+            client_bytes,
+            gupster_bytes,
+            messages: m1.messages - m0.messages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupster_netsim::Domain;
+    use gupster_schema::gup_schema;
+    use gupster_store::{DataStore, XmlStore};
+    use gupster_xml::parse;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    struct World {
+        net: Network,
+        client: NodeId,
+        gupster_node: NodeId,
+        nodes: HashMap<StoreId, NodeId>,
+        gupster: Gupster,
+        pool: StorePool,
+    }
+
+    fn world() -> World {
+        let mut net = Network::new(77);
+        let client = net.add_node("phone", Domain::Client);
+        let gupster_node = net.add_node("gupster.net", Domain::Internet);
+        let yahoo_node = net.add_node("gup.yahoo.com", Domain::Internet);
+        let lucent_node = net.add_node("gup.lucent.com", Domain::Intranet);
+        let mut gupster = Gupster::new(gup_schema(), b"k");
+        let mut yahoo = XmlStore::new("gup.yahoo.com");
+        let mut items = String::new();
+        for i in 0..50 {
+            items.push_str(&format!(
+                r#"<item id="p{i}" type="personal"><name>Person {i}</name><phone>908-555-{i:04}</phone></item>"#
+            ));
+        }
+        yahoo
+            .put_profile(
+                parse(&format!(r#"<user id="arnaud"><address-book>{items}</address-book></user>"#))
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut lucent = XmlStore::new("gup.lucent.com");
+        lucent
+            .put_profile(
+                parse(
+                    r#"<user id="arnaud"><address-book><item id="c1" type="corporate"><name>Rick</name></item></address-book></user>"#,
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        gupster
+            .register_component(
+                "arnaud",
+                p("/user[@id='arnaud']/address-book/item[@type='personal']"),
+                StoreId::new("gup.yahoo.com"),
+            )
+            .unwrap();
+        gupster
+            .register_component(
+                "arnaud",
+                p("/user[@id='arnaud']/address-book/item[@type='corporate']"),
+                StoreId::new("gup.lucent.com"),
+            )
+            .unwrap();
+        let mut pool = StorePool::new();
+        pool.add(Box::new(yahoo));
+        pool.add(Box::new(lucent));
+        let mut nodes = HashMap::new();
+        nodes.insert(StoreId::new("gup.yahoo.com"), yahoo_node);
+        nodes.insert(StoreId::new("gup.lucent.com"), lucent_node);
+        World { net, client, gupster_node, nodes, gupster, pool }
+    }
+
+    fn run(w: &mut World, pattern: QueryPattern) -> PatternRun {
+        let exec = PatternExecutor {
+            net: &w.net,
+            client: w.client,
+            gupster_node: w.gupster_node,
+            store_nodes: w.nodes.clone(),
+        };
+        exec.execute(
+            pattern,
+            &mut w.gupster,
+            &w.pool,
+            "arnaud",
+            &p("/user[@id='arnaud']/address-book"),
+            "arnaud",
+            WeekTime::at(0, 12, 0),
+            100,
+            &MergeKeys::new().with_key("item", "id"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_patterns_same_answer() {
+        let mut w = world();
+        let a = run(&mut w, QueryPattern::Referral);
+        let b = run(&mut w, QueryPattern::Chaining);
+        let c = run(&mut w, QueryPattern::Recruiting);
+        assert_eq!(a.result.len(), 1);
+        assert_eq!(a.result[0].children_named("item").len(), 51);
+        // Order of items may vary only if stores answered differently —
+        // they don't; results are byte-identical here.
+        assert_eq!(a.result, b.result);
+        assert_eq!(b.result, c.result);
+    }
+
+    #[test]
+    fn referral_keeps_gupster_thin() {
+        let mut w = world();
+        let a = run(&mut w, QueryPattern::Referral);
+        let b = run(&mut w, QueryPattern::Chaining);
+        assert_eq!(a.gupster_bytes, 0);
+        assert!(b.gupster_bytes > 1000, "{}", b.gupster_bytes);
+    }
+
+    #[test]
+    fn chaining_spares_the_client_raw_fragments() {
+        let mut w = world();
+        let a = run(&mut w, QueryPattern::Referral);
+        let b = run(&mut w, QueryPattern::Chaining);
+        // The client downloads the merged result once instead of all
+        // fragments; with two overlapping fragments sizes are close, but
+        // referral also ships the raw fragments over the client's access
+        // link.
+        assert!(a.client_bytes >= b.client_bytes, "{} vs {}", a.client_bytes, b.client_bytes);
+    }
+
+    #[test]
+    fn recruiting_bypasses_client_and_gupster_for_fragments() {
+        let mut w = world();
+        let c = run(&mut w, QueryPattern::Recruiting);
+        assert_eq!(c.gupster_bytes, 0);
+        assert!(c.wall > SimTime::ZERO);
+        assert!(c.messages >= 4);
+    }
+
+    #[test]
+    fn recruiting_falls_back_when_no_store_can_chain() {
+        // Replace the stores with chain-incapable relational adapters;
+        // the executor picks the first entry instead of failing.
+        let mut net = Network::new(5);
+        let client = net.add_node("phone", gupster_netsim::Domain::Client);
+        let gupster_node = net.add_node("gupster.net", gupster_netsim::Domain::Internet);
+        let a_node = net.add_node("gup.a.com", gupster_netsim::Domain::Internet);
+        let b_node = net.add_node("gup.b.com", gupster_netsim::Domain::Internet);
+        let mut gupster = Gupster::new(gup_schema(), b"k");
+        let mut pool = StorePool::new();
+        for (name, node) in [("gup.a.com", a_node), ("gup.b.com", b_node)] {
+            let mut adapter = gupster_store::RelationalAdapter::new(name);
+            adapter.add_subscriber("alice", "Alice", "908-555-0100");
+            adapter.add_contact("alice", if node == a_node { "x" } else { "y" }, "C", "1-555");
+            assert!(!adapter.capabilities().can_chain);
+            pool.add(Box::new(adapter));
+            let _ = node;
+        }
+        gupster
+            .register_component(
+                "alice",
+                p("/user[@id='alice']/address-book/item[@type='x']"),
+                StoreId::new("gup.a.com"),
+            )
+            .unwrap();
+        gupster
+            .register_component(
+                "alice",
+                p("/user[@id='alice']/address-book/item[@type='y']"),
+                StoreId::new("gup.b.com"),
+            )
+            .unwrap();
+        let mut nodes = HashMap::new();
+        nodes.insert(StoreId::new("gup.a.com"), a_node);
+        nodes.insert(StoreId::new("gup.b.com"), b_node);
+        let exec = PatternExecutor { net: &net, client, gupster_node, store_nodes: nodes };
+        let run = exec
+            .execute(
+                QueryPattern::Recruiting,
+                &mut gupster,
+                &pool,
+                "alice",
+                &p("/user[@id='alice']/address-book"),
+                "alice",
+                WeekTime::at(0, 12, 0),
+                0,
+                &MergeKeys::new().with_key("item", "id"),
+            )
+            .unwrap();
+        // Both adapters locally number their contacts from 1, so the two
+        // books carry colliding item ids with different content — the
+        // deep union refuses to conflate them and both fragments are
+        // returned (reconciliation is gupster-sync's job, Req. 6). All
+        // the data is there either way.
+        let items: usize = run.result.iter().map(|r| r.children_named("item").len()).sum();
+        assert_eq!(items, 2);
+    }
+}

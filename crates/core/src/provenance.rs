@@ -1,0 +1,167 @@
+//! Data provenance (§7, third core challenge): "the tracking of where
+//! data (and meta-data) have come from, and where they have been used…
+//! this illustrates just one example of the many kinds of tracking
+//! mechanisms that will be needed around access to profile data and
+//! meta-data."
+//!
+//! The [`ProvenanceLog`] records every disclosure GUPster authorizes:
+//! who was referred to which components of whose profile, when, for what
+//! purpose, and which stores were named. Owners audit their own log
+//! ([`ProvenanceLog::disclosures_of`]), and the credit-card-style
+//! question — *who ever got access to this component?* — is
+//! [`ProvenanceLog::accessors_of`].
+
+use std::collections::VecDeque;
+
+use gupster_policy::Purpose;
+use gupster_store::StoreId;
+use gupster_xpath::{may_overlap, Path};
+
+/// One authorized disclosure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Disclosure {
+    /// When (the registry's `now`).
+    pub when: u64,
+    /// The profile owner.
+    pub owner: String,
+    /// Who received the referral.
+    pub requester: String,
+    /// The purpose the shield evaluated.
+    pub purpose: Purpose,
+    /// The (rewritten) paths disclosed.
+    pub paths: Vec<Path>,
+    /// The stores named in the referral.
+    pub stores: Vec<StoreId>,
+    /// Whether the shield narrowed the request.
+    pub narrowed: bool,
+}
+
+/// An append-only, capacity-bounded disclosure log. Retention trimming
+/// is O(1) per record (ring buffer) — the log sits on the registry's
+/// lookup hot path.
+#[derive(Debug, Default)]
+pub struct ProvenanceLog {
+    records: VecDeque<Disclosure>,
+    /// Maximum retained records (0 = unbounded). Oldest records are
+    /// dropped first.
+    pub retention: usize,
+    /// Total records ever appended (survives trimming).
+    pub total_recorded: u64,
+}
+
+impl ProvenanceLog {
+    /// An unbounded log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A log retaining at most `retention` records.
+    pub fn with_retention(retention: usize) -> Self {
+        ProvenanceLog { retention, ..Default::default() }
+    }
+
+    /// Appends a disclosure.
+    pub fn record(&mut self, d: Disclosure) {
+        self.total_recorded += 1;
+        self.records.push_back(d);
+        while self.retention > 0 && self.records.len() > self.retention {
+            self.records.pop_front();
+        }
+    }
+
+    /// Every disclosure of one owner's data, oldest first.
+    pub fn disclosures_of(&self, owner: &str) -> Vec<&Disclosure> {
+        self.records.iter().filter(|d| d.owner == owner).collect()
+    }
+
+    /// Requesters who ever received a referral overlapping `component`
+    /// of `owner`'s profile (deduplicated, first-seen order).
+    pub fn accessors_of(&self, owner: &str, component: &Path) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for d in &self.records {
+            if d.owner == owner
+                && d.paths.iter().any(|p| may_overlap(p, component))
+                && !out.contains(&d.requester)
+            {
+                out.push(d.requester.clone());
+            }
+        }
+        out
+    }
+
+    /// Disclosures to a given requester across all owners (the reverse
+    /// audit: "what has this application been told?").
+    pub fn received_by(&self, requester: &str) -> Vec<&Disclosure> {
+        self.records.iter().filter(|d| d.requester == requester).collect()
+    }
+
+    /// Currently retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn disclosure(when: u64, owner: &str, requester: &str, path: &str) -> Disclosure {
+        Disclosure {
+            when,
+            owner: owner.into(),
+            requester: requester.into(),
+            purpose: Purpose::Query,
+            paths: vec![p(path)],
+            stores: vec![StoreId::new("s1")],
+            narrowed: false,
+        }
+    }
+
+    #[test]
+    fn owner_audit_trail() {
+        let mut log = ProvenanceLog::new();
+        log.record(disclosure(1, "alice", "rick", "/user/presence"));
+        log.record(disclosure(2, "alice", "mom", "/user/address-book"));
+        log.record(disclosure(3, "bob", "rick", "/user/presence"));
+        let alice = log.disclosures_of("alice");
+        assert_eq!(alice.len(), 2);
+        assert_eq!(alice[0].requester, "rick");
+        assert_eq!(log.received_by("rick").len(), 2);
+    }
+
+    #[test]
+    fn accessors_use_overlap_semantics() {
+        let mut log = ProvenanceLog::new();
+        log.record(disclosure(1, "alice", "mom", "/user/address-book/item[@type='personal']"));
+        log.record(disclosure(2, "alice", "rick", "/user/presence"));
+        log.record(disclosure(3, "alice", "mom", "/user/address-book"));
+        // Who ever saw (part of) the address book?
+        let accessors = log.accessors_of("alice", &p("/user/address-book"));
+        assert_eq!(accessors, vec!["mom"]);
+        // Who saw the personal split? The whole-book referral counts too.
+        let accessors =
+            log.accessors_of("alice", &p("/user/address-book/item[@type='personal']"));
+        assert_eq!(accessors, vec!["mom"]);
+        assert!(log.accessors_of("alice", &p("/user/wallet")).is_empty());
+    }
+
+    #[test]
+    fn retention_trims_oldest() {
+        let mut log = ProvenanceLog::with_retention(2);
+        for t in 0..5 {
+            log.record(disclosure(t, "alice", "rick", "/user/presence"));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total_recorded, 5);
+        assert_eq!(log.disclosures_of("alice")[0].when, 3);
+    }
+}

@@ -1,0 +1,547 @@
+//! The GUPster server: registration, lookup, rewriting, referrals.
+
+use std::collections::HashMap;
+
+use gupster_policy::{pep, Pap, Pdp, Purpose, RequestContext, WeekTime};
+use gupster_schema::Schema;
+use gupster_store::StoreId;
+use gupster_xpath::Path;
+
+use crate::coverage::CoverageMap;
+use crate::error::GupsterError;
+use crate::provenance::{Disclosure, ProvenanceLog};
+use crate::referral::{Referral, ReferralEntry};
+use crate::token::Signer;
+
+/// Operation counters (§5.3: the scalability story is that lookups are
+/// cheap and spurious/denied queries are filtered before touching any
+/// data store).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Lookup requests received.
+    pub lookups: u64,
+    /// Referrals issued.
+    pub referrals: u64,
+    /// Queries rejected for not fitting the GUP schema.
+    pub spurious: u64,
+    /// Queries refused by the privacy shield.
+    pub denied: u64,
+    /// Queries with no registered coverage.
+    pub uncovered: u64,
+    /// Component registrations performed.
+    pub registrations: u64,
+}
+
+/// The outcome of a successful lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// The referral to hand to the client.
+    pub referral: Referral,
+    /// True when the shield narrowed the request.
+    pub narrowed: bool,
+}
+
+/// The GUPster meta-data server.
+///
+/// ```
+/// use gupster_core::Gupster;
+/// use gupster_policy::{Purpose, WeekTime};
+/// use gupster_schema::gup_schema;
+/// use gupster_store::StoreId;
+/// use gupster_xpath::Path;
+///
+/// let mut gupster = Gupster::new(gup_schema(), b"shared-key");
+/// // Yahoo! registers Arnaud's address book (the §4.3 join step).
+/// gupster.register_component(
+///     "arnaud",
+///     Path::parse("/user[@id='arnaud']/address-book").unwrap(),
+///     StoreId::new("gup.yahoo.com"),
+/// ).unwrap();
+/// // A lookup returns a signed referral, never data.
+/// let out = gupster.lookup(
+///     "arnaud",
+///     &Path::parse("/user[@id='arnaud']/address-book").unwrap(),
+///     "arnaud",
+///     Purpose::Query,
+///     WeekTime::at(1, 10, 0),
+///     0,
+/// ).unwrap();
+/// assert_eq!(out.referral.to_string(), "gup.yahoo.com/user[@id='arnaud']/address-book");
+/// assert!(gupster.signer().verify(&out.referral.token, 5).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct Gupster {
+    /// The GUP schema in force.
+    pub schema: Schema,
+    coverage: HashMap<String, CoverageMap>,
+    /// The policy administration point (owns the repository).
+    pub pap: Pap,
+    pdp: Pdp,
+    signer: Signer,
+    /// (owner, requester) → relationship, provisioned by owners.
+    relationships: HashMap<(String, String), String>,
+    /// Counters.
+    pub stats: RegistryStats,
+    /// The disclosure audit trail (§7's provenance challenge).
+    pub provenance: ProvenanceLog,
+}
+
+impl Gupster {
+    /// Creates a server over a schema with a shared signing key.
+    pub fn new(schema: Schema, key: &[u8]) -> Self {
+        Gupster {
+            schema,
+            coverage: HashMap::new(),
+            pap: Pap::new(),
+            pdp: Pdp::new(),
+            signer: Signer::new(key, 30),
+            relationships: HashMap::new(),
+            stats: RegistryStats::default(),
+            provenance: ProvenanceLog::with_retention(100_000),
+        }
+    }
+
+    /// A clone of the signer — data stores hold this to verify tokens.
+    pub fn signer(&self) -> Signer {
+        self.signer.clone()
+    }
+
+    /// Registers a data store as holding `path` for `user` — the
+    /// Napster "join the community" step (§4.3). The path must fit the
+    /// schema.
+    pub fn register_component(
+        &mut self,
+        user: &str,
+        path: Path,
+        store: StoreId,
+    ) -> Result<(), GupsterError> {
+        if !self.schema.admits_path(&path) {
+            return Err(GupsterError::SpuriousQuery(path.to_string()));
+        }
+        self.coverage.entry(user.to_string()).or_default().register(path, store);
+        self.stats.registrations += 1;
+        Ok(())
+    }
+
+    /// Unregisters one component registration.
+    pub fn unregister_component(&mut self, user: &str, path: &Path, store: &StoreId) -> bool {
+        self.coverage.get_mut(user).map(|c| c.unregister(path, store)).unwrap_or(false)
+    }
+
+    /// Drops every registration of a store for a user (carrier switch,
+    /// §2.1). Returns how many registrations were removed.
+    pub fn unregister_store(&mut self, user: &str, store: &StoreId) -> usize {
+        self.coverage.get_mut(user).map(|c| c.unregister_store(store)).unwrap_or(0)
+    }
+
+    /// The coverage map of a user (for inspection / experiments).
+    pub fn coverage_of(&self, user: &str) -> Option<&CoverageMap> {
+        self.coverage.get(user)
+    }
+
+    /// Exports every (user, path, store) registration — mirror
+    /// anti-entropy in a [`crate::constellation::Constellation`].
+    pub fn export_coverage(&self) -> Vec<(String, Path, StoreId)> {
+        let mut out = Vec::new();
+        for (user, map) in &self.coverage {
+            for (path, stores) in map.entries() {
+                for s in stores {
+                    out.push((user.clone(), path.clone(), s.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Copies all meta-data (coverage, relationships, policies) from a
+    /// healthy mirror — the recovery half of mirror anti-entropy. The
+    /// schema and signing key are deployment constants and stay as-is.
+    pub fn clone_metadata_from(&mut self, other: &Gupster) {
+        self.coverage = other.coverage.clone();
+        self.relationships = other.relationships.clone();
+        self.pap.repository = other.pap.repository.clone();
+    }
+
+    /// Number of users with registered coverage.
+    pub fn user_count(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Provisions a relationship (owners declare who their co-workers,
+    /// boss, family are — the shield conditions of §4.6 test these).
+    pub fn set_relationship(&mut self, owner: &str, requester: &str, relationship: &str) {
+        self.relationships
+            .insert((owner.to_string(), requester.to_string()), relationship.to_string());
+    }
+
+    /// Resolves the relationship of a requester to an owner.
+    pub fn relationship(&self, owner: &str, requester: &str) -> String {
+        if owner == requester {
+            return "self".to_string();
+        }
+        self.relationships
+            .get(&(owner.to_string(), requester.to_string()))
+            .cloned()
+            .unwrap_or_else(|| "third-party".to_string())
+    }
+
+    /// Builds the request context the PDP sees.
+    pub fn context(
+        &self,
+        owner: &str,
+        requester: &str,
+        purpose: Purpose,
+        time: WeekTime,
+    ) -> RequestContext {
+        RequestContext::query(requester, &self.relationship(owner, requester), time)
+            .with_purpose(purpose)
+    }
+
+    /// The lookup pipeline of §4.3/§5.3: schema filter → privacy shield
+    /// (rewrite) → coverage match → signed referral.
+    pub fn lookup(
+        &mut self,
+        owner: &str,
+        request: &Path,
+        requester: &str,
+        purpose: Purpose,
+        time: WeekTime,
+        now: u64,
+    ) -> Result<LookupOutcome, GupsterError> {
+        self.stats.lookups += 1;
+
+        // 1. Spurious-query filter.
+        if !self.schema.admits_path(request) {
+            self.stats.spurious += 1;
+            return Err(GupsterError::SpuriousQuery(request.to_string()));
+        }
+
+        // 2. Known user?
+        let Some(coverage) = self.coverage.get(owner) else {
+            self.stats.uncovered += 1;
+            return Err(GupsterError::UnknownUser(owner.to_string()));
+        };
+
+        // 3. Privacy shield: decide and rewrite.
+        let ctx = self.context(owner, requester, purpose, time);
+        let permitted = match pep::enforce(&self.pdp, &self.pap.repository, owner, request, &ctx)
+        {
+            pep::Enforcement::Refused => {
+                self.stats.denied += 1;
+                return Err(GupsterError::AccessDenied {
+                    owner: owner.to_string(),
+                    requester: requester.to_string(),
+                });
+            }
+            pep::Enforcement::Proceed(paths) => paths,
+        };
+        let narrowed = permitted != vec![request.clone()];
+
+        // 4. Coverage match per permitted path.
+        let mut entries: Vec<ReferralEntry> = Vec::new();
+        for p in &permitted {
+            // Policy scopes omit the user-id predicate; requests to the
+            // stores must carry it so multi-tenant stores answer for the
+            // right user.
+            let p = ensure_user_id(p, owner);
+            let m = coverage.match_request(&p);
+            for (store, path) in m.full {
+                push_unique(
+                    &mut entries,
+                    ReferralEntry { store, path: ensure_user_id(&path, owner), complete: true },
+                );
+            }
+            // Partial sources are asked for the *request* path: each
+            // store returns the fragment it holds under it, and the
+            // client deep-unions the fragments (Fig. 9). The narrower
+            // registered path only selects *which* stores participate.
+            for (store, _registered) in m.partial {
+                push_unique(
+                    &mut entries,
+                    ReferralEntry { store, path: p.clone(), complete: false },
+                );
+            }
+        }
+        if entries.is_empty() {
+            self.stats.uncovered += 1;
+            return Err(GupsterError::NoCoverage(request.to_string()));
+        }
+
+        // 5. Sign the rewritten query.
+        let merge_required = entries.iter().any(|e| !e.complete);
+        let token = self.signer.sign(
+            owner,
+            requester,
+            entries.iter().map(|e| e.path.to_string()).collect(),
+            now,
+        );
+        self.stats.referrals += 1;
+        self.provenance.record(Disclosure {
+            when: now,
+            owner: owner.to_string(),
+            requester: requester.to_string(),
+            purpose,
+            paths: entries.iter().map(|e| e.path.clone()).collect(),
+            stores: entries.iter().map(|e| e.store.clone()).collect(),
+            narrowed,
+        });
+        Ok(LookupOutcome { referral: Referral { entries, merge_required, token }, narrowed })
+    }
+
+    /// Routes an update (provisioning request, Req. 11): the stores
+    /// whose registered coverage fully contains the update target. The
+    /// shield is consulted with [`Purpose::Provision`].
+    pub fn route_update(
+        &mut self,
+        owner: &str,
+        target: &Path,
+        requester: &str,
+        time: WeekTime,
+        now: u64,
+    ) -> Result<LookupOutcome, GupsterError> {
+        let out = self.lookup(owner, target, requester, Purpose::Provision, time, now)?;
+        // Updates cannot go to partial sources whose fragment might not
+        // contain the target; restrict to complete entries when any
+        // exist.
+        if out.referral.entries.iter().any(|e| e.complete) {
+            let mut r = out.referral.clone();
+            r.entries.retain(|e| e.complete);
+            r.merge_required = false;
+            return Ok(LookupOutcome { referral: r, narrowed: out.narrowed });
+        }
+        Ok(out)
+    }
+}
+
+fn push_unique(entries: &mut Vec<ReferralEntry>, e: ReferralEntry) {
+    if !entries.iter().any(|x| x.store == e.store && x.path == e.path) {
+        entries.push(e);
+    }
+}
+
+/// Ensures the first step carries `[@id='owner']`.
+fn ensure_user_id(p: &Path, owner: &str) -> Path {
+    use gupster_xpath::Predicate;
+    let mut p = p.clone();
+    if let Some(first) = p.steps.first_mut() {
+        let has = first
+            .predicates
+            .iter()
+            .any(|pr| matches!(pr, Predicate::AttrEq(a, _) if a == "id"));
+        if !has {
+            first.predicates.insert(0, Predicate::AttrEq("id".into(), owner.into()));
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupster_policy::Effect;
+    use gupster_schema::gup_schema;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn sid(s: &str) -> StoreId {
+        StoreId::new(s)
+    }
+
+    fn server() -> Gupster {
+        let mut g = Gupster::new(gup_schema(), b"test-key");
+        g.register_component("arnaud", p("/user[@id='arnaud']/address-book"), sid("gup.yahoo.com"))
+            .unwrap();
+        g.register_component("arnaud", p("/user[@id='arnaud']/address-book"), sid("gup.spcs.com"))
+            .unwrap();
+        g.register_component("arnaud", p("/user[@id='arnaud']/presence"), sid("gup.spcs.com"))
+            .unwrap();
+        g
+    }
+
+    fn noon() -> WeekTime {
+        WeekTime::at(2, 12, 0)
+    }
+
+    #[test]
+    fn owner_lookup_yields_choice_referral() {
+        let mut g = server();
+        let out = g
+            .lookup("arnaud", &p("/user[@id='arnaud']/address-book"), "arnaud", Purpose::Query, noon(), 100)
+            .unwrap();
+        assert_eq!(out.referral.entries.len(), 2);
+        assert!(out.referral.choices().count() == 2);
+        assert!(!out.referral.merge_required);
+        assert!(!out.narrowed);
+        // The token covers the rewritten paths and verifies.
+        assert!(g.signer().verify(&out.referral.token, 120).is_ok());
+        assert_eq!(g.stats.referrals, 1);
+    }
+
+    #[test]
+    fn spurious_query_filtered() {
+        let mut g = server();
+        let err = g.lookup("arnaud", &p("/user/mp3-collection"), "arnaud", Purpose::Query, noon(), 0);
+        assert!(matches!(err, Err(GupsterError::SpuriousQuery(_))));
+        assert_eq!(g.stats.spurious, 1);
+        assert_eq!(g.stats.referrals, 0);
+    }
+
+    #[test]
+    fn unknown_user_and_uncovered() {
+        let mut g = server();
+        let err = g.lookup("ghost", &p("/user/presence"), "ghost", Purpose::Query, noon(), 0);
+        assert!(matches!(err, Err(GupsterError::UnknownUser(_))));
+        let err = g.lookup("arnaud", &p("/user[@id='arnaud']/calendar"), "arnaud", Purpose::Query, noon(), 0);
+        assert!(matches!(err, Err(GupsterError::NoCoverage(_))));
+        assert_eq!(g.stats.uncovered, 2);
+    }
+
+    #[test]
+    fn shield_denies_stranger() {
+        let mut g = server();
+        let err = g.lookup("arnaud", &p("/user[@id='arnaud']/presence"), "spy", Purpose::Query, noon(), 0);
+        assert!(matches!(err, Err(GupsterError::AccessDenied { .. })));
+        assert_eq!(g.stats.denied, 1);
+    }
+
+    #[test]
+    fn shield_permits_provisioned_coworker() {
+        let mut g = server();
+        g.set_relationship("arnaud", "rick", "co-worker");
+        g.pap.provision(
+            "arnaud",
+            "cw",
+            Effect::Permit,
+            "/user/presence",
+            "relationship='co-worker' and time in Mon-Fri 09:00-18:00",
+            0,
+        )
+        .unwrap();
+        let ok = g.lookup("arnaud", &p("/user[@id='arnaud']/presence"), "rick", Purpose::Query, noon(), 0);
+        assert!(ok.is_ok());
+        // Same co-worker outside working hours: denied.
+        let err = g.lookup(
+            "arnaud",
+            &p("/user[@id='arnaud']/presence"),
+            "rick",
+            Purpose::Query,
+            WeekTime::at(2, 22, 0),
+            0,
+        );
+        assert!(matches!(err, Err(GupsterError::AccessDenied { .. })));
+    }
+
+    #[test]
+    fn figure_9_merge_referral() {
+        let mut g = Gupster::new(gup_schema(), b"k");
+        g.register_component(
+            "arnaud",
+            p("/user[@id='arnaud']/address-book/item[@type='personal']"),
+            sid("gup.yahoo.com"),
+        )
+        .unwrap();
+        g.register_component(
+            "arnaud",
+            p("/user[@id='arnaud']/address-book/item[@type='corporate']"),
+            sid("gup.lucent.com"),
+        )
+        .unwrap();
+        let out = g
+            .lookup("arnaud", &p("/user[@id='arnaud']/address-book"), "arnaud", Purpose::Query, noon(), 0)
+            .unwrap();
+        assert!(out.referral.merge_required);
+        assert_eq!(out.referral.fragments().count(), 2);
+        let s = out.referral.to_string();
+        assert!(s.contains("gup.yahoo.com") && s.contains("gup.lucent.com"), "{s}");
+    }
+
+    #[test]
+    fn narrowing_flows_into_referral() {
+        let mut g = server();
+        g.set_relationship("arnaud", "mom", "family");
+        g.pap.provision(
+            "arnaud",
+            "fam",
+            Effect::Permit,
+            "/user/address-book/item[@type='personal']",
+            "relationship='family'",
+            0,
+        )
+        .unwrap();
+        let out = g
+            .lookup("arnaud", &p("/user[@id='arnaud']/address-book"), "mom", Purpose::Query, noon(), 0)
+            .unwrap();
+        assert!(out.narrowed);
+        for e in &out.referral.entries {
+            assert!(e.path.to_string().contains("personal"), "{}", e.path);
+            // The store-facing path carries the user id.
+            assert!(e.path.to_string().contains("arnaud"), "{}", e.path);
+        }
+    }
+
+    #[test]
+    fn registration_validated_against_schema() {
+        let mut g = Gupster::new(gup_schema(), b"k");
+        let err = g.register_component("a", p("/user/mp3s"), sid("s"));
+        assert!(matches!(err, Err(GupsterError::SpuriousQuery(_))));
+    }
+
+    #[test]
+    fn carrier_switch_unregisters_store() {
+        let mut g = server();
+        assert_eq!(g.unregister_store("arnaud", &sid("gup.spcs.com")), 2);
+        // Address book still answered by Yahoo!.
+        let out = g
+            .lookup("arnaud", &p("/user[@id='arnaud']/address-book"), "arnaud", Purpose::Query, noon(), 0)
+            .unwrap();
+        assert_eq!(out.referral.entries.len(), 1);
+        assert_eq!(out.referral.entries[0].store, sid("gup.yahoo.com"));
+        // Presence is gone.
+        let err = g.lookup("arnaud", &p("/user[@id='arnaud']/presence"), "arnaud", Purpose::Query, noon(), 0);
+        assert!(matches!(err, Err(GupsterError::NoCoverage(_))));
+    }
+
+    #[test]
+    fn update_routing_prefers_complete_sources() {
+        let mut g = server();
+        let out = g
+            .route_update("arnaud", &p("/user[@id='arnaud']/address-book"), "arnaud", noon(), 0)
+            .unwrap();
+        assert!(out.referral.entries.iter().all(|e| e.complete));
+        assert_eq!(out.referral.entries.len(), 2);
+    }
+
+    #[test]
+    fn provenance_records_disclosures() {
+        let mut g = server();
+        g.set_relationship("arnaud", "rick", "co-worker");
+        g.pap
+            .provision("arnaud", "cw", Effect::Permit, "/user/presence", "relationship='co-worker'", 0)
+            .unwrap();
+        g.lookup("arnaud", &p("/user[@id='arnaud']/presence"), "rick", Purpose::Query, noon(), 7)
+            .unwrap();
+        // Denied lookups leave no disclosure.
+        let _ = g.lookup("arnaud", &p("/user[@id='arnaud']/presence"), "spy", Purpose::Query, noon(), 8);
+        let audit = g.provenance.disclosures_of("arnaud");
+        assert_eq!(audit.len(), 1);
+        assert_eq!(audit[0].requester, "rick");
+        assert_eq!(audit[0].when, 7);
+        assert_eq!(
+            g.provenance.accessors_of("arnaud", &p("/user/presence")),
+            vec!["rick"]
+        );
+    }
+
+    #[test]
+    fn relationship_resolution() {
+        let mut g = server();
+        assert_eq!(g.relationship("arnaud", "arnaud"), "self");
+        assert_eq!(g.relationship("arnaud", "spy"), "third-party");
+        g.set_relationship("arnaud", "rick", "co-worker");
+        assert_eq!(g.relationship("arnaud", "rick"), "co-worker");
+        // Relationships are directional.
+        assert_eq!(g.relationship("rick", "arnaud"), "third-party");
+    }
+}

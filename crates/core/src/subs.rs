@@ -1,0 +1,273 @@
+//! Subscriptions: push vs. poll (§5.2).
+//!
+//! "In the current architecture, GUPster is a reactive (pull-based) not
+//! pro-active (push-based) system. It is always possible to push-enable
+//! a pull-based system using polling, but this may not be very
+//! efficient. In our case, every polling request needs to be checked to
+//! enforce the end-user's privacy shield. Having the subscription
+//! handled by GUPster internally would save this extra work."
+//!
+//! [`SubscriptionManager`] implements the internal (push) variant: the
+//! shield is checked **once** at subscribe time; store change events are
+//! then forwarded to matching subscribers. The polling variant is a
+//! plain repeated lookup, which pays the shield check every round —
+//! experiment E10 quantifies the difference.
+
+use gupster_policy::Purpose;
+use gupster_policy::WeekTime;
+use gupster_xpath::{may_overlap, Path};
+
+use crate::client::StorePool;
+use crate::error::GupsterError;
+use crate::registry::Gupster;
+
+/// A delivered change notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notification {
+    /// The subscription that fired.
+    pub subscription_id: u64,
+    /// The subscriber.
+    pub subscriber: String,
+    /// The profile owner whose data changed.
+    pub owner: String,
+    /// The changed path (as reported by the store).
+    pub path: Path,
+}
+
+#[derive(Debug, Clone)]
+struct Subscription {
+    id: u64,
+    owner: String,
+    subscriber: String,
+    path: Path,
+}
+
+/// GUPster's internal subscription manager.
+#[derive(Debug, Default)]
+pub struct SubscriptionManager {
+    subs: Vec<Subscription>,
+    next_id: u64,
+    /// Policy checks performed (once per subscribe).
+    pub shield_checks: u64,
+    /// Notifications delivered.
+    pub delivered: u64,
+}
+
+impl SubscriptionManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes to changes under `path` of `owner`'s profile. The
+    /// privacy shield is consulted once, with [`Purpose::Subscribe`] —
+    /// owners can therefore write policies that allow queries but not
+    /// standing subscriptions.
+    pub fn subscribe(
+        &mut self,
+        gupster: &mut Gupster,
+        owner: &str,
+        path: &Path,
+        subscriber: &str,
+        time: WeekTime,
+        now: u64,
+    ) -> Result<u64, GupsterError> {
+        self.shield_checks += 1;
+        // Reuse the lookup pipeline for the shield + schema checks (the
+        // referral itself is discarded; we only need the permission).
+        gupster.lookup(owner, path, subscriber, Purpose::Subscribe, time, now)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.subs.push(Subscription {
+            id,
+            owner: owner.to_string(),
+            subscriber: subscriber.to_string(),
+            path: path.clone(),
+        });
+        Ok(id)
+    }
+
+    /// Cancels a subscription.
+    pub fn unsubscribe(&mut self, id: u64) -> bool {
+        let before = self.subs.len();
+        self.subs.retain(|s| s.id != id);
+        self.subs.len() != before
+    }
+
+    /// Number of active subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// True when nobody is subscribed.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Drains change events from the stores and fans them out to
+    /// matching subscriptions — the push path. No shield checks happen
+    /// here; that's the §5.2 saving.
+    pub fn pump(&mut self, pool: &mut StorePool) -> Vec<Notification> {
+        let mut out = Vec::new();
+        for (_store, event) in pool.drain_all_events() {
+            for sub in &self.subs {
+                if sub.owner == event.user && may_overlap(&sub.path, &event.path) {
+                    out.push(Notification {
+                        subscription_id: sub.id,
+                        subscriber: sub.subscriber.clone(),
+                        owner: sub.owner.clone(),
+                        path: event.path.clone(),
+                    });
+                }
+            }
+        }
+        self.delivered += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupster_policy::Effect;
+    use gupster_schema::gup_schema;
+    use gupster_store::{DataStore, StoreId, UpdateOp, XmlStore};
+    use gupster_xml::parse;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn world() -> (Gupster, StorePool) {
+        let mut g = Gupster::new(gup_schema(), b"k");
+        let mut s = XmlStore::new("gup.spcs.com");
+        s.put_profile(
+            parse(r#"<user id="alice"><presence>online</presence><address-book/></user>"#)
+                .unwrap(),
+        )
+        .unwrap();
+        s.drain_events();
+        g.register_component("alice", p("/user[@id='alice']/presence"), StoreId::new("gup.spcs.com"))
+            .unwrap();
+        g.register_component(
+            "alice",
+            p("/user[@id='alice']/address-book"),
+            StoreId::new("gup.spcs.com"),
+        )
+        .unwrap();
+        let mut pool = StorePool::new();
+        pool.add(Box::new(s));
+        (g, pool)
+    }
+
+    #[test]
+    fn push_delivery_after_single_shield_check() {
+        let (mut g, mut pool) = world();
+        let mut subs = SubscriptionManager::new();
+        let id = subs
+            .subscribe(&mut g, "alice", &p("/user[@id='alice']/presence"), "alice", WeekTime::at(0, 9, 0), 0)
+            .unwrap();
+        assert_eq!(subs.shield_checks, 1);
+        // Two updates → two notifications, zero extra shield checks.
+        pool.update(
+            &StoreId::new("gup.spcs.com"),
+            "alice",
+            &UpdateOp::SetText(p("/user/presence"), "busy".into()),
+        )
+        .unwrap();
+        pool.update(
+            &StoreId::new("gup.spcs.com"),
+            "alice",
+            &UpdateOp::SetText(p("/user/presence"), "away".into()),
+        )
+        .unwrap();
+        let notes = subs.pump(&mut pool);
+        assert_eq!(notes.len(), 2);
+        assert_eq!(notes[0].subscription_id, id);
+        assert_eq!(subs.shield_checks, 1);
+        assert_eq!(subs.delivered, 2);
+    }
+
+    #[test]
+    fn unrelated_changes_not_delivered() {
+        let (mut g, mut pool) = world();
+        let mut subs = SubscriptionManager::new();
+        subs.subscribe(&mut g, "alice", &p("/user[@id='alice']/presence"), "alice", WeekTime::at(0, 9, 0), 0)
+            .unwrap();
+        pool.update(
+            &StoreId::new("gup.spcs.com"),
+            "alice",
+            &UpdateOp::InsertChild(
+                p("/user/address-book"),
+                parse(r#"<item id="1"><name>Bob</name></item>"#).unwrap(),
+            ),
+        )
+        .unwrap();
+        assert!(subs.pump(&mut pool).is_empty());
+    }
+
+    #[test]
+    fn shield_gates_subscriptions() {
+        let (mut g, _) = world();
+        let mut subs = SubscriptionManager::new();
+        let err = subs.subscribe(
+            &mut g,
+            "alice",
+            &p("/user[@id='alice']/presence"),
+            "spy",
+            WeekTime::at(0, 9, 0),
+            0,
+        );
+        assert!(err.is_err());
+        assert!(subs.is_empty());
+    }
+
+    #[test]
+    fn purpose_specific_policy_can_block_subscribe_but_allow_query() {
+        let (mut g, _) = world();
+        g.set_relationship("alice", "rick", "co-worker");
+        g.pap.provision(
+            "alice",
+            "q-only",
+            Effect::Permit,
+            "/user/presence",
+            "relationship='co-worker' and purpose='query'",
+            0,
+        )
+        .unwrap();
+        // Query succeeds…
+        assert!(g
+            .lookup(
+                "alice",
+                &p("/user[@id='alice']/presence"),
+                "rick",
+                Purpose::Query,
+                WeekTime::at(0, 9, 0),
+                0
+            )
+            .is_ok());
+        // …but a standing subscription is refused.
+        let mut subs = SubscriptionManager::new();
+        assert!(subs
+            .subscribe(&mut g, "alice", &p("/user[@id='alice']/presence"), "rick", WeekTime::at(0, 9, 0), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let (mut g, mut pool) = world();
+        let mut subs = SubscriptionManager::new();
+        let id = subs
+            .subscribe(&mut g, "alice", &p("/user[@id='alice']/presence"), "alice", WeekTime::at(0, 9, 0), 0)
+            .unwrap();
+        assert!(subs.unsubscribe(id));
+        assert!(!subs.unsubscribe(id));
+        pool.update(
+            &StoreId::new("gup.spcs.com"),
+            "alice",
+            &UpdateOp::SetText(p("/user/presence"), "busy".into()),
+        )
+        .unwrap();
+        assert!(subs.pump(&mut pool).is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! The Directory Information Tree with search and subtree partitioning.
+
+use std::collections::BTreeMap;
+
+use crate::dn::Dn;
+use crate::entry::Entry;
+use crate::error::DirectoryError;
+use crate::filter::Filter;
+use crate::objectclass::{standard_classes, ObjectClassRegistry};
+
+/// Search scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// The base entry only.
+    Base,
+    /// Direct children of the base.
+    OneLevel,
+    /// The base and its whole subtree.
+    Subtree,
+}
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// The matching entry (a copy).
+    pub entry: Entry,
+}
+
+/// The outcome of a search: hits plus any referrals to partitions that
+/// the search crossed into.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SearchOutcome {
+    /// Matching entries.
+    pub hits: Vec<SearchResult>,
+    /// Servers holding partitioned-away subtrees under the search base.
+    pub referrals: Vec<(Dn, String)>,
+}
+
+/// An in-memory LDAP-style directory server.
+///
+/// Entries are stored in DN order (a `BTreeMap` keyed by the reversed
+/// RDN chain), which makes subtree scans a contiguous range — the same
+/// property real servers get from their substring-indexed DN tables.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    /// Ordered by hierarchical key (ancestors before descendants).
+    entries: BTreeMap<Vec<(String, String)>, Entry>,
+    /// Subtrees delegated to other servers: base DN → server locator.
+    partitions: BTreeMap<Vec<(String, String)>, String>,
+    registry: ObjectClassRegistry,
+    /// Monotone modification counter (used by adapters for change
+    /// detection).
+    generation: u64,
+}
+
+fn key(dn: &Dn) -> Vec<(String, String)> {
+    dn.rdns.iter().rev().cloned().collect()
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Directory {
+    /// An empty directory with the standard object classes.
+    pub fn new() -> Self {
+        Directory {
+            entries: BTreeMap::new(),
+            partitions: BTreeMap::new(),
+            registry: standard_classes(),
+            generation: 0,
+        }
+    }
+
+    /// Access to the class registry (to register custom classes).
+    pub fn registry_mut(&mut self) -> &mut ObjectClassRegistry {
+        &mut self.registry
+    }
+
+    /// The class registry.
+    pub fn registry(&self) -> &ObjectClassRegistry {
+        &self.registry
+    }
+
+    /// Number of entries held locally.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Modification counter; bumps on every successful write.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn partition_for(&self, dn: &Dn) -> Option<(Dn, String)> {
+        let k = key(dn);
+        self.partitions
+            .iter()
+            .filter(|(base, _)| k.starts_with(base))
+            .max_by_key(|(base, _)| base.len())
+            .map(|(base, server)| {
+                let rdns: Vec<_> = base.iter().rev().cloned().collect();
+                (Dn { rdns }, server.clone())
+            })
+    }
+
+    /// Adds an entry. The parent must exist (except for depth-1 entries),
+    /// the entry must validate, and the DN must be free.
+    pub fn add(&mut self, entry: Entry) -> Result<(), DirectoryError> {
+        if let Some((dn, server)) = self.partition_for(&entry.dn) {
+            return Err(DirectoryError::Referral { dn, server });
+        }
+        entry.validate(&self.registry)?;
+        let k = key(&entry.dn);
+        if self.entries.contains_key(&k) {
+            return Err(DirectoryError::EntryExists(entry.dn));
+        }
+        if let Some(parent) = entry.dn.parent() {
+            if parent.depth() > 0 && !self.entries.contains_key(&key(&parent)) {
+                return Err(DirectoryError::NoSuchParent(entry.dn));
+            }
+        }
+        self.entries.insert(k, entry);
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Reads an entry by DN.
+    pub fn get(&self, dn: &Dn) -> Result<&Entry, DirectoryError> {
+        if let Some((pdn, server)) = self.partition_for(dn) {
+            return Err(DirectoryError::Referral { dn: pdn, server });
+        }
+        self.entries.get(&key(dn)).ok_or_else(|| DirectoryError::NoSuchEntry(dn.clone()))
+    }
+
+    /// Applies a closure to an entry, revalidating afterwards.
+    pub fn modify(
+        &mut self,
+        dn: &Dn,
+        f: impl FnOnce(&mut Entry),
+    ) -> Result<(), DirectoryError> {
+        if let Some((pdn, server)) = self.partition_for(dn) {
+            return Err(DirectoryError::Referral { dn: pdn, server });
+        }
+        let entry = self
+            .entries
+            .get_mut(&key(dn))
+            .ok_or_else(|| DirectoryError::NoSuchEntry(dn.clone()))?;
+        let mut copy = entry.clone();
+        f(&mut copy);
+        copy.validate(&self.registry)?;
+        *entry = copy;
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Deletes a leaf entry.
+    pub fn delete(&mut self, dn: &Dn) -> Result<Entry, DirectoryError> {
+        let k = key(dn);
+        if !self.entries.contains_key(&k) {
+            return Err(DirectoryError::NoSuchEntry(dn.clone()));
+        }
+        let has_children = self
+            .entries
+            .range(next_range(&k))
+            .next()
+            .is_some_and(|(ck, _)| ck.starts_with(&k));
+        if has_children {
+            return Err(DirectoryError::NotLeaf(dn.clone()));
+        }
+        self.generation += 1;
+        Ok(self.entries.remove(&k).expect("checked"))
+    }
+
+    /// Searches from `base` with the given scope and filter.
+    pub fn search(&self, base: &Dn, scope: Scope, filter: &Filter) -> SearchOutcome {
+        let mut out = SearchOutcome::default();
+        let bk = key(base);
+        // Collect referrals for partitions under the base.
+        for (pk, server) in &self.partitions {
+            if pk.starts_with(&bk) {
+                let rdns: Vec<_> = pk.iter().rev().cloned().collect();
+                out.referrals.push((Dn { rdns }, server.clone()));
+            }
+        }
+        let candidates: Vec<&Entry> = match scope {
+            Scope::Base => self.entries.get(&bk).into_iter().collect(),
+            Scope::OneLevel => self
+                .entries
+                .range(next_range(&bk))
+                .take_while(|(k, _)| k.starts_with(&bk))
+                .filter(|(k, _)| k.len() == bk.len() + 1)
+                .map(|(_, e)| e)
+                .collect(),
+            Scope::Subtree => {
+                let mut v: Vec<&Entry> = self.entries.get(&bk).into_iter().collect();
+                v.extend(
+                    self.entries
+                        .range(next_range(&bk))
+                        .take_while(|(k, _)| k.starts_with(&bk))
+                        .map(|(_, e)| e),
+                );
+                v
+            }
+        };
+        for e in candidates {
+            if filter.eval(e, &self.registry) {
+                out.hits.push(SearchResult { entry: e.clone() });
+            }
+        }
+        out
+    }
+
+    /// Moves the subtree at `base` to another server: local entries under
+    /// it are removed and returned, and future operations under `base`
+    /// answer with a referral. This is the "move arbitrary sub-trees to
+    /// different servers" scaling move of §6.
+    pub fn partition_subtree(
+        &mut self,
+        base: &Dn,
+        server: &str,
+    ) -> Result<Vec<Entry>, DirectoryError> {
+        let bk = key(base);
+        let mut moved = Vec::new();
+        let keys: Vec<_> = self
+            .entries
+            .range(bk.clone()..)
+            .take_while(|(k, _)| k.starts_with(&bk))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in keys {
+            moved.push(self.entries.remove(&k).expect("listed"));
+        }
+        self.partitions.insert(bk, server.to_string());
+        self.generation += 1;
+        Ok(moved)
+    }
+
+    /// Bulk-load entries without parent checks (used when receiving a
+    /// partitioned subtree). Entries are still validated.
+    pub fn load(&mut self, entries: Vec<Entry>) -> Result<(), DirectoryError> {
+        for e in entries {
+            e.validate(&self.registry)?;
+            self.entries.insert(key(&e.dn), e);
+        }
+        self.generation += 1;
+        Ok(())
+    }
+}
+
+/// Range that starts strictly after `k` itself but includes all keys
+/// prefixed by `k` (BTreeMap range trick: append a minimal extension).
+fn next_range(
+    k: &[(String, String)],
+) -> std::ops::RangeFrom<Vec<(String, String)>> {
+    let mut start = k.to_vec();
+    start.push((String::new(), String::new()));
+    start..
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> Directory {
+        let mut d = Directory::new();
+        d.add(Entry::new(Dn::parse("o=lucent").unwrap(), &["organization"]).with("o", "lucent"))
+            .unwrap();
+        d.add(
+            Entry::new(Dn::parse("ou=people,o=lucent").unwrap(), &["organizationalUnit"])
+                .with("ou", "people"),
+        )
+        .unwrap();
+        for (cn, phone) in [("alice", "908-582-1111"), ("bob", "908-582-2222"), ("carol", "973-111-3333")] {
+            d.add(
+                Entry::new(
+                    Dn::parse(&format!("cn={cn},ou=people,o=lucent")).unwrap(),
+                    &["inetOrgPerson"],
+                )
+                .with("cn", cn)
+                .with("sn", format!("{cn}son"))
+                .with("telephoneNumber", phone),
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    fn f(s: &str) -> Filter {
+        Filter::parse(s).unwrap()
+    }
+
+    #[test]
+    fn add_get_roundtrip() {
+        let d = populated();
+        let e = d.get(&Dn::parse("cn=alice,ou=people,o=lucent").unwrap()).unwrap();
+        assert_eq!(e.first("telephoneNumber"), Some("908-582-1111"));
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_add_rejected() {
+        let mut d = populated();
+        let dup = Entry::new(Dn::parse("cn=alice,ou=people,o=lucent").unwrap(), &["person"])
+            .with("cn", "alice")
+            .with("sn", "x");
+        assert!(matches!(d.add(dup), Err(DirectoryError::EntryExists(_))));
+    }
+
+    #[test]
+    fn orphan_add_rejected() {
+        let mut d = populated();
+        let orphan = Entry::new(Dn::parse("cn=x,ou=ghost,o=lucent").unwrap(), &["person"])
+            .with("cn", "x")
+            .with("sn", "y");
+        assert!(matches!(d.add(orphan), Err(DirectoryError::NoSuchParent(_))));
+    }
+
+    #[test]
+    fn scopes() {
+        let d = populated();
+        let base = Dn::parse("ou=people,o=lucent").unwrap();
+        assert_eq!(d.search(&base, Scope::Base, &f("(ou=*)")).hits.len(), 1);
+        assert_eq!(d.search(&base, Scope::OneLevel, &f("(cn=*)")).hits.len(), 3);
+        assert_eq!(d.search(&base, Scope::Subtree, &f("(cn=*)")).hits.len(), 3);
+        assert_eq!(
+            d.search(&Dn::parse("o=lucent").unwrap(), Scope::OneLevel, &f("(cn=*)")).hits.len(),
+            0
+        );
+        assert_eq!(
+            d.search(&Dn::root(), Scope::Subtree, &f("(objectClass=*)")).hits.len(),
+            5
+        );
+    }
+
+    #[test]
+    fn search_with_phone_syntax() {
+        let d = populated();
+        let hits =
+            d.search(&Dn::root(), Scope::Subtree, &f("(telephoneNumber=908.582.1111)"));
+        assert_eq!(hits.hits.len(), 1);
+        assert_eq!(hits.hits[0].entry.first("cn"), Some("alice"));
+    }
+
+    #[test]
+    fn modify_revalidates() {
+        let mut d = populated();
+        let dn = Dn::parse("cn=alice,ou=people,o=lucent").unwrap();
+        d.modify(&dn, |e| e.add("mail", "alice@lucent.com")).unwrap();
+        assert_eq!(d.get(&dn).unwrap().first("mail"), Some("alice@lucent.com"));
+        // Removing a required attribute is rejected and rolls back.
+        let err = d.modify(&dn, |e| {
+            e.remove("sn");
+        });
+        assert!(err.is_err());
+        assert_eq!(d.get(&dn).unwrap().first("sn"), Some("aliceson"));
+    }
+
+    #[test]
+    fn delete_leaf_only() {
+        let mut d = populated();
+        let people = Dn::parse("ou=people,o=lucent").unwrap();
+        assert!(matches!(d.delete(&people), Err(DirectoryError::NotLeaf(_))));
+        let alice = Dn::parse("cn=alice,ou=people,o=lucent").unwrap();
+        d.delete(&alice).unwrap();
+        assert!(d.get(&alice).is_err());
+        assert!(matches!(d.delete(&alice), Err(DirectoryError::NoSuchEntry(_))));
+    }
+
+    #[test]
+    fn partition_moves_subtree_and_refers() {
+        let mut d = populated();
+        let people = Dn::parse("ou=people,o=lucent").unwrap();
+        let moved = d.partition_subtree(&people, "ldap://us-east.lucent.com").unwrap();
+        assert_eq!(moved.len(), 4); // ou + 3 people
+        assert_eq!(d.len(), 1);
+        // Reads under the partition answer with a referral.
+        let alice = Dn::parse("cn=alice,ou=people,o=lucent").unwrap();
+        match d.get(&alice) {
+            Err(DirectoryError::Referral { server, .. }) => {
+                assert_eq!(server, "ldap://us-east.lucent.com")
+            }
+            other => panic!("expected referral, got {other:?}"),
+        }
+        // Searches report the referral.
+        let out = d.search(&Dn::parse("o=lucent").unwrap(), Scope::Subtree, &f("(cn=*)"));
+        assert_eq!(out.hits.len(), 0);
+        assert_eq!(out.referrals.len(), 1);
+        // The moved entries can be loaded into another server.
+        let mut d2 = Directory::new();
+        d2.load(moved).unwrap();
+        assert_eq!(
+            d2.search(&people, Scope::Subtree, &f("(cn=*)")).hits.len(),
+            3
+        );
+    }
+
+    #[test]
+    fn generation_bumps_on_writes() {
+        let mut d = populated();
+        let g0 = d.generation();
+        d.modify(&Dn::parse("cn=bob,ou=people,o=lucent").unwrap(), |e| {
+            e.add("mail", "b@lucent.com")
+        })
+        .unwrap();
+        assert!(d.generation() > g0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for directory operations.
+
+use std::fmt;
+
+use crate::dn::Dn;
+
+/// Errors raised by directory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// The target entry does not exist.
+    NoSuchEntry(Dn),
+    /// An entry already exists at the DN.
+    EntryExists(Dn),
+    /// The parent of the DN does not exist (LDAP requires tree growth
+    /// one level at a time).
+    NoSuchParent(Dn),
+    /// The entry has children and cannot be deleted.
+    NotLeaf(Dn),
+    /// Object-class validation failed.
+    SchemaViolation {
+        /// The offending DN.
+        dn: Dn,
+        /// Why.
+        detail: String,
+    },
+    /// A malformed DN or filter string.
+    Malformed(String),
+    /// The operation crossed into a partitioned-away subtree; chase the
+    /// referral.
+    Referral {
+        /// The DN at which the partition was crossed.
+        dn: Dn,
+        /// Opaque server locator (host name in our simulation).
+        server: String,
+    },
+}
+
+impl fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectoryError::NoSuchEntry(dn) => write!(f, "no such entry: {dn}"),
+            DirectoryError::EntryExists(dn) => write!(f, "entry already exists: {dn}"),
+            DirectoryError::NoSuchParent(dn) => write!(f, "no such parent for: {dn}"),
+            DirectoryError::NotLeaf(dn) => write!(f, "entry has children: {dn}"),
+            DirectoryError::SchemaViolation { dn, detail } => {
+                write!(f, "schema violation at {dn}: {detail}")
+            }
+            DirectoryError::Malformed(s) => write!(f, "malformed input: {s}"),
+            DirectoryError::Referral { dn, server } => {
+                write!(f, "referral at {dn} to {server}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DirectoryError {}

@@ -1,0 +1,104 @@
+//! Property tests local to the directory crate: DN algebra, filter
+//! parser robustness, search-scope monotonicity, syntax normalizers.
+
+use proptest::prelude::*;
+
+use gupster_directory::{
+    AttributeSyntax, Directory, Dn, Entry, Filter, Scope,
+};
+
+fn arb_dn() -> impl Strategy<Value = Dn> {
+    prop::collection::vec(("[a-z]{1,4}", "[a-zA-Z0-9]{1,6}"), 1..5)
+        .prop_map(|rdns| Dn { rdns })
+}
+
+proptest! {
+    /// DN display → parse is the identity (names are already lowercase
+    /// in the generator's range... attribute names get lowercased, so
+    /// generate lowercase attrs and arbitrary-case values).
+    #[test]
+    fn dn_display_parse_roundtrip(dn in arb_dn()) {
+        let back = Dn::parse(&dn.to_string()).unwrap();
+        prop_assert_eq!(back, dn);
+    }
+
+    /// parent/child are inverse; is_under is a partial order on chains.
+    #[test]
+    fn dn_hierarchy_laws(dn in arb_dn(), attr in "[a-z]{1,4}", value in "[a-z0-9]{1,5}") {
+        let child = dn.child(&attr, &value);
+        prop_assert_eq!(child.parent().unwrap(), dn.clone());
+        prop_assert!(child.is_under(&dn));
+        prop_assert!(child.is_child_of(&dn));
+        prop_assert!(!dn.is_under(&child));
+        prop_assert!(dn.is_under(&dn));
+        prop_assert!(child.is_under(&Dn::root()));
+    }
+
+    /// The filter parser never panics on arbitrary input.
+    #[test]
+    fn filter_parser_never_panics(input in ".{0,60}") {
+        let _ = Filter::parse(&input);
+    }
+
+    /// Base hits ⊆ one-level ∪ base ⊆ subtree hits, for any filter that
+    /// parses.
+    #[test]
+    fn scope_monotonicity(values in prop::collection::vec("[a-z]{1,6}", 1..6)) {
+        let mut dir = Directory::new();
+        dir.add(Entry::new(Dn::parse("o=x").unwrap(), &["organization"]).with("o", "x")).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            dir.add(
+                Entry::new(Dn::parse(&format!("cn=c{i},o=x")).unwrap(), &["person"])
+                    .with("cn", format!("c{i}"))
+                    .with("sn", v.clone()),
+            )
+            .unwrap();
+        }
+        let base = Dn::parse("o=x").unwrap();
+        let f = Filter::parse("(objectClass=*)").unwrap();
+        let b = dir.search(&base, Scope::Base, &f).hits.len();
+        let one = dir.search(&base, Scope::OneLevel, &f).hits.len();
+        let sub = dir.search(&base, Scope::Subtree, &f).hits.len();
+        prop_assert_eq!(b, 1);
+        prop_assert_eq!(one, values.len());
+        prop_assert_eq!(sub, values.len() + 1);
+    }
+
+    /// Telephone normalization is idempotent and punctuation-blind.
+    #[test]
+    fn telephone_syntax_laws(digits in proptest::collection::vec(0u8..10, 3..12)) {
+        let syn = AttributeSyntax::Telephone;
+        let plain: String = digits.iter().map(|d| d.to_string()).collect();
+        let spaced: String = digits.iter().map(|d| format!("{d} ")).collect();
+        let parens = format!("({})", plain);
+        prop_assert!(syn.eq(&plain, &spaced));
+        prop_assert!(syn.eq(&plain, &parens));
+        let n = syn.normalize(&spaced);
+        prop_assert_eq!(syn.normalize(&n), n);
+    }
+
+    /// Case-ignore equality is an equivalence on printable strings:
+    /// reflexive, symmetric; normalization idempotent.
+    #[test]
+    fn case_ignore_laws(a in "[ -~]{0,20}", b in "[ -~]{0,20}") {
+        let syn = AttributeSyntax::CaseIgnore;
+        prop_assert!(syn.eq(&a, &a));
+        prop_assert_eq!(syn.eq(&a, &b), syn.eq(&b, &a));
+        let n = syn.normalize(&a);
+        prop_assert_eq!(syn.normalize(&n), n);
+    }
+
+    /// Every added leaf entry can be deleted, and delete is idempotent
+    /// in its failure mode.
+    #[test]
+    fn add_delete_roundtrip(cn in "[a-z]{1,8}") {
+        let mut dir = Directory::new();
+        dir.add(Entry::new(Dn::parse("o=x").unwrap(), &["organization"]).with("o", "x")).unwrap();
+        let dn = Dn::parse(&format!("cn={cn},o=x")).unwrap();
+        dir.add(Entry::new(dn.clone(), &["person"]).with("cn", cn).with("sn", "s")).unwrap();
+        prop_assert!(dir.get(&dn).is_ok());
+        prop_assert!(dir.delete(&dn).is_ok());
+        prop_assert!(dir.get(&dn).is_err());
+        prop_assert!(dir.delete(&dn).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Composing synchronous interactions: sequential chains and parallel
+//! fan-outs.
+//!
+//! The selective reach-me service (§2.2) "needs to aggregate information
+//! for all the networks Alice is in contact with" and must decide "in
+//! just a few seconds" — whether sources are consulted one after another
+//! or concurrently decides whether that budget holds. [`Journey`] models
+//! both compositions over a [`Network`].
+
+use crate::clock::SimTime;
+use crate::network::{Network, NodeId};
+
+/// Wall-clock accumulator for a synchronous interaction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Journey {
+    elapsed: SimTime,
+}
+
+impl Journey {
+    /// Starts at time zero.
+    pub fn start() -> Self {
+        Journey::default()
+    }
+
+    /// Elapsed wall-clock so far.
+    pub fn elapsed(&self) -> SimTime {
+        self.elapsed
+    }
+
+    /// Adds local processing time.
+    pub fn compute(&mut self, t: SimTime) -> &mut Self {
+        self.elapsed += t;
+        self
+    }
+
+    /// Performs a sequential RPC.
+    pub fn rpc(
+        &mut self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> &mut Self {
+        self.elapsed += net.rpc(from, to, req_bytes, resp_bytes);
+        self
+    }
+
+    /// Performs a one-way send.
+    pub fn send(&mut self, net: &Network, from: NodeId, to: NodeId, bytes: usize) -> &mut Self {
+        self.elapsed += net.send(from, to, bytes);
+        self
+    }
+
+    /// Performs several RPCs in parallel: wall-clock advances by the
+    /// slowest branch (all messages are still metered).
+    pub fn parallel_rpcs(
+        &mut self,
+        net: &Network,
+        from: NodeId,
+        calls: &[(NodeId, usize, usize)],
+    ) -> &mut Self {
+        let slowest = calls
+            .iter()
+            .map(|(to, req, resp)| net.rpc(from, *to, *req, *resp))
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.elapsed += slowest;
+        self
+    }
+
+    /// Runs several sub-journeys in parallel from the current instant;
+    /// wall-clock advances by the slowest.
+    pub fn parallel(&mut self, branches: &[SimTime]) -> &mut Self {
+        self.elapsed += branches.iter().copied().max().unwrap_or(SimTime::ZERO);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{Domain, LatencyModel};
+
+    fn fixed_net() -> (Network, NodeId, NodeId, NodeId) {
+        let mut n = Network::new(1);
+        let c = n.add_node("client", Domain::Client);
+        let a = n.add_node("a", Domain::Internet);
+        let b = n.add_node("b", Domain::Internet);
+        n.set_link(c, a, LatencyModel::fixed(SimTime::millis(10)));
+        n.set_link(c, b, LatencyModel::fixed(SimTime::millis(30)));
+        n.set_link(a, b, LatencyModel::fixed(SimTime::millis(5)));
+        (n, c, a, b)
+    }
+
+    #[test]
+    fn sequential_adds() {
+        let (n, c, a, b) = fixed_net();
+        let mut j = Journey::start();
+        j.rpc(&n, c, a, 0, 0).rpc(&n, c, b, 0, 0).compute(SimTime::millis(1));
+        // 2*10 + 2*30 + 1 = 81ms
+        assert_eq!(j.elapsed(), SimTime::millis(81));
+    }
+
+    #[test]
+    fn parallel_takes_max() {
+        let (n, c, a, b) = fixed_net();
+        let mut j = Journey::start();
+        j.parallel_rpcs(&n, c, &[(a, 0, 0), (b, 0, 0)]);
+        // max(20, 60) = 60ms
+        assert_eq!(j.elapsed(), SimTime::millis(60));
+        // Both calls were metered.
+        assert_eq!(n.metrics().messages, 4);
+    }
+
+    #[test]
+    fn parallel_beats_sequential() {
+        let (n, c, a, b) = fixed_net();
+        let mut seq = Journey::start();
+        seq.rpc(&n, c, a, 0, 0).rpc(&n, c, b, 0, 0);
+        let mut par = Journey::start();
+        par.parallel_rpcs(&n, c, &[(a, 0, 0), (b, 0, 0)]);
+        assert!(par.elapsed() < seq.elapsed());
+    }
+
+    #[test]
+    fn empty_parallel_is_zero() {
+        let (n, c, _, _) = fixed_net();
+        let mut j = Journey::start();
+        j.parallel_rpcs(&n, c, &[]);
+        j.parallel(&[]);
+        assert_eq!(j.elapsed(), SimTime::ZERO);
+    }
+}

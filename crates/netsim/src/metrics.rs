@@ -1,0 +1,92 @@
+//! Message and latency accounting.
+
+use std::collections::BTreeMap;
+
+use crate::clock::SimTime;
+
+/// Counters recorded by the network. Experiments read these to report
+/// message counts, bytes moved and latency distributions.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Total one-way messages sent.
+    pub messages: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Total simulated transfer time accumulated across messages.
+    pub total_latency: SimTime,
+    /// Per (from-label, to-label) message counts.
+    pub per_edge: BTreeMap<(String, String), u64>,
+    latencies_us: Vec<u64>,
+}
+
+impl Metrics {
+    /// Records one message.
+    pub fn record(&mut self, from: &str, to: &str, bytes: usize, latency: SimTime) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        self.total_latency += latency;
+        *self.per_edge.entry((from.to_string(), to.to_string())).or_default() += 1;
+        self.latencies_us.push(latency.0);
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+
+    /// The `q`-quantile (0.0–1.0) of per-message latency.
+    pub fn latency_quantile(&self, q: f64) -> SimTime {
+        if self.latencies_us.is_empty() {
+            return SimTime::ZERO;
+        }
+        let mut v = self.latencies_us.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        SimTime(v[idx])
+    }
+
+    /// Mean per-message latency.
+    pub fn latency_mean(&self) -> SimTime {
+        self.total_latency
+            .0
+            .checked_div(self.messages)
+            .map(SimTime)
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        m.record("a", "b", 100, SimTime::millis(5));
+        m.record("a", "b", 200, SimTime::millis(15));
+        m.record("b", "c", 50, SimTime::millis(10));
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.bytes, 350);
+        assert_eq!(m.per_edge[&("a".to_string(), "b".to_string())], 2);
+        assert_eq!(m.latency_mean(), SimTime::millis(10));
+        assert_eq!(m.latency_quantile(0.0), SimTime::millis(5));
+        assert_eq!(m.latency_quantile(1.0), SimTime::millis(15));
+        assert_eq!(m.latency_quantile(0.5), SimTime::millis(10));
+    }
+
+    #[test]
+    fn empty_metrics_safe() {
+        let m = Metrics::default();
+        assert_eq!(m.latency_mean(), SimTime::ZERO);
+        assert_eq!(m.latency_quantile(0.5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = Metrics::default();
+        m.record("a", "b", 1, SimTime::millis(1));
+        m.reset();
+        assert_eq!(m.messages, 0);
+        assert_eq!(m.bytes, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The network: nodes, links and metered message passing.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::clock::SimTime;
+use crate::link::{Domain, LatencyModel};
+use crate::metrics::Metrics;
+
+/// Identifier of a network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A registered network element.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The node's id.
+    pub id: NodeId,
+    /// Human-readable label, e.g. `hlr.sprintpcs.com`.
+    pub label: String,
+    /// The domain the node lives in (drives default link models).
+    pub domain: Domain,
+}
+
+/// The message-passing fabric. Thread-safe: metrics and the RNG sit
+/// behind a mutex so benchmark harnesses can share a network.
+#[derive(Debug)]
+pub struct Network {
+    nodes: Vec<Node>,
+    by_label: HashMap<String, NodeId>,
+    /// Explicit per-pair overrides (unordered pair).
+    overrides: HashMap<(NodeId, NodeId), LatencyModel>,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    rng: StdRng,
+    metrics: Metrics,
+}
+
+impl Network {
+    /// A fresh network with a seeded RNG (experiments are reproducible).
+    pub fn new(seed: u64) -> Self {
+        Network {
+            nodes: Vec::new(),
+            by_label: HashMap::new(),
+            overrides: HashMap::new(),
+            inner: Mutex::new(Inner { rng: StdRng::seed_from_u64(seed), metrics: Metrics::default() }),
+        }
+    }
+
+    /// Registers a node and returns its id.
+    pub fn add_node(&mut self, label: impl Into<String>, domain: Domain) -> NodeId {
+        let label = label.into();
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_label.insert(label.clone(), id);
+        self.nodes.push(Node { id, label, domain });
+        id
+    }
+
+    /// Looks up a node by label.
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Node metadata.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Overrides the latency model between two nodes (both directions).
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, model: LatencyModel) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.overrides.insert(key, model);
+    }
+
+    fn model(&self, a: NodeId, b: NodeId) -> LatencyModel {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.overrides.get(&key).copied().unwrap_or_else(|| {
+            LatencyModel::between(self.node(a).domain, self.node(b).domain)
+        })
+    }
+
+    /// Sends one message of `bytes` payload from `from` to `to`,
+    /// returning its simulated latency and recording metrics.
+    pub fn send(&self, from: NodeId, to: NodeId, bytes: usize) -> SimTime {
+        if from == to {
+            return SimTime::ZERO; // local call
+        }
+        let model = self.model(from, to);
+        let mut inner = self.inner.lock();
+        let t = model.sample(bytes, &mut inner.rng);
+        let (fl, tl) = (self.node(from).label.clone(), self.node(to).label.clone());
+        inner.metrics.record(&fl, &tl, bytes, t);
+        t
+    }
+
+    /// A request/response round trip: request of `req_bytes` out,
+    /// response of `resp_bytes` back.
+    pub fn rpc(&self, from: NodeId, to: NodeId, req_bytes: usize, resp_bytes: usize) -> SimTime {
+        self.send(from, to, req_bytes) + self.send(to, from, resp_bytes)
+    }
+
+    /// Runs a closure over the metrics.
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&Metrics) -> R) -> R {
+        f(&self.inner.lock().metrics)
+    }
+
+    /// Snapshot of the metrics.
+    pub fn metrics(&self) -> Metrics {
+        self.inner.lock().metrics.clone()
+    }
+
+    /// Resets metrics (not the RNG).
+    pub fn reset_metrics(&self) {
+        self.inner.lock().metrics.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> (Network, NodeId, NodeId, NodeId) {
+        let mut n = Network::new(7);
+        let hlr = n.add_node("hlr.spcs.com", Domain::Wireless);
+        let msc = n.add_node("msc1.spcs.com", Domain::Wireless);
+        let portal = n.add_node("gup.yahoo.com", Domain::Internet);
+        (n, hlr, msc, portal)
+    }
+
+    #[test]
+    fn send_records_metrics() {
+        let (n, hlr, msc, _) = net();
+        let t = n.send(hlr, msc, 256);
+        assert!(t >= SimTime::millis(3));
+        let m = n.metrics();
+        assert_eq!(m.messages, 1);
+        assert_eq!(m.bytes, 256);
+        assert_eq!(m.per_edge[&("hlr.spcs.com".into(), "msc1.spcs.com".into())], 1);
+    }
+
+    #[test]
+    fn local_call_is_free() {
+        let (n, hlr, _, _) = net();
+        assert_eq!(n.send(hlr, hlr, 10_000), SimTime::ZERO);
+        assert_eq!(n.metrics().messages, 0);
+    }
+
+    #[test]
+    fn rpc_is_two_messages() {
+        let (n, hlr, _, portal) = net();
+        let t = n.rpc(hlr, portal, 100, 5_000);
+        assert!(t > SimTime::millis(60), "{t}"); // two internet hops
+        assert_eq!(n.metrics().messages, 2);
+        assert_eq!(n.metrics().bytes, 5_100);
+    }
+
+    #[test]
+    fn link_override_applies_both_ways() {
+        let (mut n, hlr, msc, _) = net();
+        n.set_link(hlr, msc, LatencyModel::fixed(SimTime::millis(99)));
+        assert_eq!(n.send(hlr, msc, 0), SimTime::millis(99));
+        assert_eq!(n.send(msc, hlr, 0), SimTime::millis(99));
+    }
+
+    #[test]
+    fn label_lookup() {
+        let (n, hlr, _, _) = net();
+        assert_eq!(n.node_by_label("hlr.spcs.com"), Some(hlr));
+        assert_eq!(n.node_by_label("ghost"), None);
+        assert_eq!(n.node(hlr).domain, Domain::Wireless);
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let build = || {
+            let mut n = Network::new(123);
+            let a = n.add_node("a", Domain::Internet);
+            let b = n.add_node("b", Domain::Client);
+            (0..10).map(|_| n.send(a, b, 100).0).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

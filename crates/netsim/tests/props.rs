@@ -1,0 +1,120 @@
+//! Property tests local to the network simulator: latency bounds,
+//! metric accounting, journey composition, and wireless-protocol
+//! invariants.
+
+use proptest::prelude::*;
+
+use gupster_netsim::wireless::Carrier;
+use gupster_netsim::{Domain, Journey, LatencyModel, Network, SimTime};
+
+proptest! {
+    /// Sampled latency always lies in
+    /// [base + size charge, base + jitter + size charge].
+    #[test]
+    fn latency_within_model_bounds(
+        base_ms in 0u64..100,
+        jitter_ms in 0u64..50,
+        per_kb_us in 0u64..1000,
+        bytes in 0usize..100_000,
+        seed in 0u64..1000,
+    ) {
+        let model = LatencyModel {
+            base: SimTime::millis(base_ms),
+            jitter: SimTime::millis(jitter_ms),
+            per_kb: SimTime::micros(per_kb_us),
+        };
+        let mut net = Network::new(seed);
+        let a = net.add_node("a", Domain::Internet);
+        let b = net.add_node("b", Domain::Internet);
+        net.set_link(a, b, model);
+        let t = net.send(a, b, bytes);
+        let size = SimTime::micros(per_kb_us * (bytes.div_ceil(1024) as u64));
+        let lo = SimTime::millis(base_ms) + size;
+        let hi = lo + SimTime::millis(jitter_ms);
+        prop_assert!(t >= lo && t <= hi, "t={t} not in [{lo}, {hi}]");
+    }
+
+    /// Metrics account exactly for what was sent.
+    #[test]
+    fn metrics_account_exactly(sends in prop::collection::vec(0usize..10_000, 0..20)) {
+        let mut net = Network::new(1);
+        let a = net.add_node("a", Domain::Pstn);
+        let b = net.add_node("b", Domain::Pstn);
+        let mut total = SimTime::ZERO;
+        for s in &sends {
+            total += net.send(a, b, *s);
+        }
+        let m = net.metrics();
+        prop_assert_eq!(m.messages, sends.len() as u64);
+        prop_assert_eq!(m.bytes, sends.iter().map(|s| *s as u64).sum::<u64>());
+        prop_assert_eq!(m.total_latency, total);
+    }
+
+    /// A parallel journey never exceeds the sequential one over the same
+    /// calls, and both dominate the slowest single call.
+    #[test]
+    fn parallel_leq_sequential(ms in prop::collection::vec(1u64..200, 1..6)) {
+        let mut net = Network::new(2);
+        let c = net.add_node("c", Domain::Client);
+        let targets: Vec<_> = ms
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let n = net.add_node(format!("t{i}"), Domain::Internet);
+                net.set_link(c, n, LatencyModel::fixed(SimTime::millis(*m)));
+                n
+            })
+            .collect();
+        let mut seq = Journey::start();
+        for t in &targets {
+            seq.rpc(&net, c, *t, 0, 0);
+        }
+        let mut par = Journey::start();
+        let calls: Vec<(_, usize, usize)> = targets.iter().map(|t| (*t, 0, 0)).collect();
+        par.parallel_rpcs(&net, c, &calls);
+        prop_assert!(par.elapsed() <= seq.elapsed());
+        let slowest = SimTime::millis(*ms.iter().max().unwrap() * 2);
+        prop_assert!(par.elapsed() >= slowest);
+    }
+
+    /// Location-update invariant: after any sequence of moves, exactly
+    /// one VLR holds the subscriber's snapshot and the HLR routes to it.
+    #[test]
+    fn single_vlr_holds_subscriber(moves in prop::collection::vec(0usize..4, 0..12)) {
+        let mut net = Network::new(3);
+        let mut c = Carrier::build(&mut net, "t", 4);
+        c.provision(&net, "908-555-0000", "sub", false);
+        for m in &moves {
+            c.location_update(&net, "908-555-0000", *m);
+        }
+        let mut holders: Vec<usize> = Vec::new();
+        for (i, (v, _)) in c.areas.iter_mut().enumerate() {
+            if v.lookup("908-555-0000").is_some() {
+                holders.push(i);
+            }
+        }
+        prop_assert_eq!(holders.len(), 1, "exactly one VLR must hold the snapshot");
+        let expected_area = *moves.last().unwrap_or(&0);
+        prop_assert_eq!(holders[0], expected_area);
+        let (vlr_label, _) = c.hlr.lookup_routing("908-555-0000").unwrap();
+        prop_assert_eq!(vlr_label, c.areas[expected_area].0.label.clone());
+    }
+
+    /// Call delivery succeeds for every provisioned subscriber wherever
+    /// they moved, and never for strangers.
+    #[test]
+    fn call_delivery_total_on_provisioned(moves in prop::collection::vec(0usize..3, 0..6)) {
+        let mut net = Network::new(4);
+        let mut c = Carrier::build(&mut net, "t", 3);
+        c.provision(&net, "908-1", "a", false);
+        for m in &moves {
+            c.location_update(&net, "908-1", *m);
+        }
+        let origin = c.areas[0].1;
+        let delivered = c.call_delivery(&net, origin, "908-1");
+        prop_assert!(delivered.is_some());
+        let (_, serving) = delivered.unwrap();
+        prop_assert_eq!(serving, c.areas[*moves.last().unwrap_or(&0)].1);
+        prop_assert!(c.call_delivery(&net, origin, "000-STRANGER").is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # gupster-policy
+//!
+//! The **privacy shield** (§4.6 of the paper): "users are willing to
+//! grant access to their profile information … provided they remain in
+//! control of who can access this information and when."
+//!
+//! A request has two facets: a *path* (what profile components are asked
+//! for) and a *context* (who asks, why, when) — [`RequestContext`]. The
+//! paper found XACML's request context "too limited (restricted to
+//! principals)", so this crate implements the richer context the paper
+//! calls for: requester identity, relationship, purpose, time-of-week
+//! and free-form attributes, with a small condition language
+//! ([`Condition`]) over it.
+//!
+//! The policy infrastructure follows Figure 10's role split:
+//!
+//! * [`PolicyRepository`] — stores per-user rule sets,
+//! * [`Pap`] — the administration point: provision and validate rules,
+//! * [`Pdp`] — the decision point: pure decision, no side effects,
+//! * [`pep::enforce`] — the enforcement point: rewrites or refuses the
+//!   request according to the decision (GUPster plays this role; data
+//!   stores are execution points).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod condition;
+mod context;
+mod pap;
+mod pdp;
+pub mod pep;
+mod repository;
+mod rule;
+
+pub use condition::Condition;
+pub use context::{Purpose, RequestContext, WeekTime};
+pub use pap::{Pap, RuleError};
+pub use pdp::{Decision, Pdp};
+pub use repository::PolicyRepository;
+pub use rule::{Effect, Rule};

@@ -1,0 +1,336 @@
+//! The policy decision point (Figure 10: "renders a decision based on a
+//! rule set and a context; the decision point only returns a decision
+//! and has absolutely no side-effect on the environment").
+
+use gupster_xpath::{covers, may_overlap, Path};
+
+use crate::context::RequestContext;
+use crate::repository::PolicyRepository;
+use crate::rule::{Effect, Rule};
+
+/// The PDP's verdict for a (user, path, context) request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// The whole requested sub-tree may be disclosed.
+    Permit,
+    /// Nothing may be disclosed.
+    Deny,
+    /// Only the listed sub-scopes of the request may be disclosed
+    /// ("only a subset of the information asked for can be returned",
+    /// §5.3). Each path is a narrowing of the request.
+    PermitNarrowed(Vec<Path>),
+}
+
+impl Decision {
+    /// True for any permit (full or narrowed).
+    pub fn allows_anything(&self) -> bool {
+        !matches!(self, Decision::Deny)
+    }
+}
+
+/// The decision point. Stateless over a repository reference — the
+/// repository itself is the state, per Figure 10's role split.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pdp {
+    /// When `true`, a request with no applicable rule is denied
+    /// (default-closed — the shield posture). The profile owner
+    /// (`relationship == "self"`) is always permitted.
+    pub default_closed: bool,
+}
+
+impl Pdp {
+    /// A default-closed PDP (the recommended shield posture).
+    pub fn new() -> Self {
+        Pdp { default_closed: true }
+    }
+
+    /// Decides a request.
+    ///
+    /// Semantics: rules whose condition holds and whose scope relates to
+    /// the request participate. Deny rules covering any part of the
+    /// request knock that part out; permit rules admit the parts they
+    /// cover. The result is `Permit` when a permit covers the whole
+    /// request and no deny intersects it; `PermitNarrowed` when permits
+    /// cover only parts (minus denied parts); `Deny` otherwise.
+    pub fn decide(
+        &self,
+        repo: &PolicyRepository,
+        owner: &str,
+        request: &Path,
+        ctx: &RequestContext,
+    ) -> Decision {
+        if ctx.relationship == "self" {
+            // The owner always reaches their own data; deny rules do not
+            // apply to self (the owner edits the shield through the PAP).
+            return Decision::Permit;
+        }
+        // Rules are stored per owner, so their scopes omit the
+        // `[@id='…']` predicate requests carry on the first step;
+        // normalize the request the same way before matching.
+        let request = &strip_user_id(request);
+        let applicable: Vec<&Rule> = repo
+            .rules_for(owner)
+            .iter()
+            .filter(|r| r.condition.eval(ctx) && may_overlap(&r.scope, request))
+            .collect();
+
+        // Deny wins at equal or higher priority than the permits that
+        // would admit the same region; we implement the paper's simple
+        // posture: any applicable deny covering the whole request denies
+        // it outright, and denies always knock out overlapping permits
+        // unless a strictly higher-priority permit exists.
+        let denies: Vec<&&Rule> =
+            applicable.iter().filter(|r| r.effect == Effect::Deny).collect();
+        let permits: Vec<&&Rule> =
+            applicable.iter().filter(|r| r.effect == Effect::Permit).collect();
+
+        let deny_whole = denies.iter().any(|d| {
+            covers(&d.scope, request)
+                && !permits.iter().any(|p| p.priority > d.priority && covers(&p.scope, request))
+        });
+        if deny_whole {
+            return Decision::Deny;
+        }
+
+        // Full-cover permits not shadowed by a covering deny of ≥ priority.
+        let full = permits.iter().find(|p| {
+            covers(&p.scope, request)
+                && !denies
+                    .iter()
+                    .any(|d| d.priority >= p.priority && may_overlap(&d.scope, request))
+        });
+        if full.is_some() {
+            return Decision::Permit;
+        }
+
+        // Partial permits: permit scopes *inside* the request that are
+        // not knocked out by an overlapping deny of ≥ priority.
+        let mut parts: Vec<Path> = Vec::new();
+        for p in &permits {
+            let knocked = denies
+                .iter()
+                .any(|d| d.priority >= p.priority && may_overlap(&d.scope, &p.scope));
+            if knocked {
+                continue;
+            }
+            let narrowed = if covers(request, &p.scope) {
+                p.scope.clone()
+            } else if covers(&p.scope, request) {
+                request.clone()
+            } else {
+                continue;
+            };
+            if !parts.contains(&narrowed) {
+                parts.push(narrowed);
+            }
+        }
+        if !parts.is_empty() {
+            // A permit covering the whole request would have returned
+            // above; these are genuine narrowings (or the request
+            // itself, if a permit scope equals it but was shadowed for
+            // other parts — still correct to disclose).
+            if parts.iter().any(|p| covers(p, request)) {
+                return Decision::Permit;
+            }
+            return Decision::PermitNarrowed(parts);
+        }
+
+        if self.default_closed || !denies.is_empty() {
+            Decision::Deny
+        } else {
+            Decision::Permit
+        }
+    }
+}
+
+/// Removes `[@id='…']` predicates from the first step (the user
+/// identity is implicit in per-owner rule sets).
+fn strip_user_id(p: &Path) -> Path {
+    use gupster_xpath::Predicate;
+    let mut p = p.clone();
+    if let Some(first) = p.steps.first_mut() {
+        first
+            .predicates
+            .retain(|pr| !matches!(pr, Predicate::AttrEq(a, _) | Predicate::AttrExists(a) if a == "id"));
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::context::WeekTime;
+
+    fn path(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn shield() -> PolicyRepository {
+        // The §4.6 corporate user's shield.
+        let mut repo = PolicyRepository::new();
+        repo.put(
+            "alice",
+            Rule::permit(
+                "coworker-presence",
+                path("/user/presence"),
+                Condition::parse("relationship='co-worker' and time in Mon-Fri 09:00-18:00")
+                    .unwrap(),
+            ),
+        );
+        repo.put(
+            "alice",
+            Rule::permit(
+                "boss-family-presence",
+                path("/user/presence"),
+                Condition::parse("relationship='boss' or relationship='family'").unwrap(),
+            ),
+        );
+        repo.put(
+            "alice",
+            Rule::permit(
+                "family-personal",
+                path("/user/address-book/item[@type='personal']"),
+                Condition::parse("relationship='family'").unwrap(),
+            ),
+        );
+        repo.put(
+            "alice",
+            Rule::permit(
+                "family-calendar",
+                path("/user/calendar"),
+                Condition::parse("relationship='family'").unwrap(),
+            ),
+        );
+        repo
+    }
+
+    fn ctx(rel: &str, day: u32, hour: u32) -> RequestContext {
+        RequestContext::query("rick", rel, WeekTime::at(day, hour, 0))
+    }
+
+    #[test]
+    fn coworker_presence_working_hours_only() {
+        let pdp = Pdp::new();
+        let repo = shield();
+        let presence = path("/user[@id='alice']/presence");
+        assert_eq!(pdp.decide(&repo, "alice", &presence, &ctx("co-worker", 2, 11)), Decision::Permit);
+        assert_eq!(pdp.decide(&repo, "alice", &presence, &ctx("co-worker", 2, 20)), Decision::Deny);
+        assert_eq!(pdp.decide(&repo, "alice", &presence, &ctx("co-worker", 6, 11)), Decision::Deny);
+    }
+
+    #[test]
+    fn boss_and_family_any_time() {
+        let pdp = Pdp::new();
+        let repo = shield();
+        let presence = path("/user[@id='alice']/presence");
+        assert_eq!(pdp.decide(&repo, "alice", &presence, &ctx("boss", 6, 3)), Decision::Permit);
+        assert_eq!(pdp.decide(&repo, "alice", &presence, &ctx("family", 6, 3)), Decision::Permit);
+    }
+
+    #[test]
+    fn default_closed_for_strangers() {
+        let pdp = Pdp::new();
+        let repo = shield();
+        assert_eq!(
+            pdp.decide(&repo, "alice", &path("/user/presence"), &ctx("third-party", 2, 11)),
+            Decision::Deny
+        );
+        assert_eq!(
+            pdp.decide(&repo, "alice", &path("/user/wallet"), &ctx("family", 2, 11)),
+            Decision::Deny
+        );
+    }
+
+    #[test]
+    fn owner_always_permitted() {
+        let pdp = Pdp::new();
+        let repo = shield();
+        let c = RequestContext::owner("alice", WeekTime::at(6, 3, 0));
+        assert_eq!(pdp.decide(&repo, "alice", &path("/user/wallet"), &c), Decision::Permit);
+    }
+
+    #[test]
+    fn request_narrowed_to_permitted_subset() {
+        let pdp = Pdp::new();
+        let repo = shield();
+        // Family asks for the *whole* address book; only the personal
+        // split is permitted.
+        let d = pdp.decide(
+            &repo,
+            "alice",
+            &path("/user[@id='alice']/address-book"),
+            &ctx("family", 2, 11),
+        );
+        match d {
+            Decision::PermitNarrowed(parts) => {
+                assert_eq!(parts.len(), 1);
+                assert_eq!(parts[0].to_string(), "/user/address-book/item[@type='personal']");
+            }
+            other => panic!("expected narrowing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deeper_request_inside_permit_scope_allowed() {
+        let pdp = Pdp::new();
+        let repo = shield();
+        let d = pdp.decide(
+            &repo,
+            "alice",
+            &path("/user/calendar/event[@id='e1']/start"),
+            &ctx("family", 2, 11),
+        );
+        assert_eq!(d, Decision::Permit);
+    }
+
+    #[test]
+    fn deny_overrides_permit() {
+        let pdp = Pdp::new();
+        let mut repo = shield();
+        repo.put(
+            "alice",
+            Rule::deny("no-rick", path("/user/presence"), Condition::parse("requester='rick'").unwrap()),
+        );
+        assert_eq!(
+            pdp.decide(&repo, "alice", &path("/user/presence"), &ctx("boss", 2, 11)),
+            Decision::Deny
+        );
+    }
+
+    #[test]
+    fn higher_priority_permit_beats_deny() {
+        let pdp = Pdp::new();
+        let mut repo = PolicyRepository::new();
+        repo.put("alice", Rule::deny("d", path("/user/presence"), Condition::True));
+        repo.put(
+            "alice",
+            Rule::permit("p", path("/user/presence"), Condition::True).with_priority(10),
+        );
+        assert_eq!(
+            pdp.decide(&repo, "alice", &path("/user/presence"), &ctx("boss", 0, 0)),
+            Decision::Permit
+        );
+    }
+
+    #[test]
+    fn open_pdp_permits_unmatched() {
+        let pdp = Pdp { default_closed: false };
+        let repo = PolicyRepository::new();
+        assert_eq!(
+            pdp.decide(&repo, "alice", &path("/user/presence"), &ctx("anyone", 0, 0)),
+            Decision::Permit
+        );
+    }
+
+    #[test]
+    fn non_overlapping_rules_not_applicable() {
+        let pdp = Pdp::new();
+        let repo = shield();
+        // Presence rules must not leak access to devices.
+        assert_eq!(
+            pdp.decide(&repo, "alice", &path("/user/devices"), &ctx("boss", 2, 11)),
+            Decision::Deny
+        );
+    }
+}

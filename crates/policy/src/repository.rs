@@ -1,0 +1,99 @@
+//! The policy repository (Figure 10: "in charge of storing policies").
+
+use std::collections::BTreeMap;
+
+use crate::rule::Rule;
+
+/// Per-user rule storage. GUPster hosts one repository; hierarchical
+/// deployments (§5.1.2) host one per meta-data manager.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyRepository {
+    rules: BTreeMap<String, Vec<Rule>>,
+}
+
+impl PolicyRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All rules for a user (possibly empty).
+    pub fn rules_for(&self, user: &str) -> &[Rule] {
+        self.rules.get(user).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Inserts a rule, replacing any rule with the same id.
+    pub fn put(&mut self, user: &str, rule: Rule) {
+        let rules = self.rules.entry(user.to_string()).or_default();
+        match rules.iter_mut().find(|r| r.id == rule.id) {
+            Some(slot) => *slot = rule,
+            None => rules.push(rule),
+        }
+    }
+
+    /// Removes a rule by id; returns whether it existed.
+    pub fn remove(&mut self, user: &str, rule_id: &str) -> bool {
+        match self.rules.get_mut(user) {
+            Some(rules) => {
+                let before = rules.len();
+                rules.retain(|r| r.id != rule_id);
+                rules.len() != before
+            }
+            None => false,
+        }
+    }
+
+    /// Number of rules stored for a user.
+    pub fn count_for(&self, user: &str) -> usize {
+        self.rules_for(user).len()
+    }
+
+    /// Total rules across users.
+    pub fn total(&self) -> usize {
+        self.rules.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+    use gupster_xpath::Path;
+
+    fn rule(id: &str) -> Rule {
+        Rule::permit(id, Path::parse("/user/presence").unwrap(), Condition::True)
+    }
+
+    #[test]
+    fn put_replaces_same_id() {
+        let mut repo = PolicyRepository::new();
+        repo.put("alice", rule("r1"));
+        repo.put("alice", rule("r2"));
+        let mut updated = rule("r1");
+        updated.priority = 9;
+        repo.put("alice", updated);
+        assert_eq!(repo.count_for("alice"), 2);
+        assert_eq!(repo.rules_for("alice")[0].priority, 9);
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut repo = PolicyRepository::new();
+        repo.put("alice", rule("r1"));
+        assert!(repo.remove("alice", "r1"));
+        assert!(!repo.remove("alice", "r1"));
+        assert!(!repo.remove("ghost", "r1"));
+        assert_eq!(repo.total(), 0);
+    }
+
+    #[test]
+    fn per_user_isolation() {
+        let mut repo = PolicyRepository::new();
+        repo.put("alice", rule("r1"));
+        repo.put("bob", rule("r1"));
+        assert_eq!(repo.count_for("alice"), 1);
+        assert_eq!(repo.count_for("bob"), 1);
+        assert_eq!(repo.total(), 2);
+        assert!(repo.rules_for("carol").is_empty());
+    }
+}

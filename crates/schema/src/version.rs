@@ -1,0 +1,367 @@
+//! Schema evolution (§4.4: "the schema can be made more tolerant (or
+//! not) to evolutions (e.g., using optional elements or attributes)").
+//!
+//! The GUPster server and the data stores must agree on the schema
+//! version in use; [`compatibility`] classifies an upgrade from an old
+//! schema to a new one so deployments know whether documents produced
+//! under the old schema remain valid.
+
+use crate::schema::{ChildDecl, ContentModel, ElementDecl, Schema};
+
+/// Result of comparing an old schema against a new one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Compatibility {
+    /// Every document valid under the old schema is valid under the new
+    /// one (only additions of optional elements/attributes, relaxations
+    /// of occurrence bounds, or openings).
+    BackwardCompatible,
+    /// The new schema may reject old documents; the reasons are listed.
+    Breaking(Vec<String>),
+}
+
+impl Compatibility {
+    /// True for [`Compatibility::BackwardCompatible`].
+    pub fn is_backward_compatible(&self) -> bool {
+        matches!(self, Compatibility::BackwardCompatible)
+    }
+}
+
+/// Classifies the upgrade `old → new`.
+pub fn compatibility(old: &Schema, new: &Schema) -> Compatibility {
+    let mut breaks = Vec::new();
+    if old.root != new.root {
+        breaks.push(format!("root changed from <{}> to <{}>", old.root, new.root));
+    }
+    for (name, od) in &old.elements {
+        let Some(nd) = new.decl(name) else {
+            breaks.push(format!("element <{name}> removed"));
+            continue;
+        };
+        // Content model: must accept at least what it used to.
+        match (od.content, nd.content) {
+            (a, b) if a == b => {}
+            (ContentModel::Text(a), ContentModel::Mixed(b)) if a == b => {}
+            (ContentModel::Empty, ContentModel::Elements)
+            | (ContentModel::Empty, ContentModel::Text(_))
+            | (ContentModel::Empty, ContentModel::Mixed(_))
+            | (ContentModel::Elements, ContentModel::Mixed(_)) => {}
+            (a, b) => breaks.push(format!("element <{name}> content model {a:?} → {b:?}")),
+        }
+        // Attributes: new required attributes break; datatype changes break.
+        for na in &nd.attrs {
+            match od.attr_decl(&na.name) {
+                None => {
+                    if na.required {
+                        breaks.push(format!(
+                            "element <{name}> gained required attribute '{}'",
+                            na.name
+                        ));
+                    }
+                }
+                Some(oa) => {
+                    if oa.datatype != na.datatype {
+                        breaks.push(format!(
+                            "element <{name}> attribute '{}' retyped {} → {}",
+                            na.name, oa.datatype, na.datatype
+                        ));
+                    }
+                    if !oa.required && na.required {
+                        breaks.push(format!(
+                            "element <{name}> attribute '{}' became required",
+                            na.name
+                        ));
+                    }
+                }
+            }
+        }
+        // Removed attribute declarations break closed elements (old docs
+        // carrying the attribute become invalid).
+        if !nd.open {
+            for oa in &od.attrs {
+                if nd.attr_decl(&oa.name).is_none() {
+                    breaks.push(format!(
+                        "element <{name}> attribute '{}' removed while element is closed",
+                        oa.name
+                    ));
+                }
+            }
+        }
+        // Children: occurrence bounds must not tighten; removals from
+        // closed elements break.
+        for nc in &nd.children {
+            match od.child_decl(&nc.name) {
+                None => {
+                    if nc.occurs.min > 0 {
+                        breaks.push(format!(
+                            "element <{name}> gained mandatory child <{}>",
+                            nc.name
+                        ));
+                    }
+                }
+                Some(oc) => {
+                    if !oc.occurs.within(nc.occurs) {
+                        breaks.push(format!(
+                            "element <{name}> child <{}> occurrence tightened",
+                            nc.name
+                        ));
+                    }
+                }
+            }
+        }
+        if !nd.open {
+            for oc in &od.children {
+                if nd.child_decl(&oc.name).is_none() {
+                    breaks.push(format!(
+                        "element <{name}> child <{}> removed while element is closed",
+                        oc.name
+                    ));
+                }
+            }
+        }
+        if od.open && !nd.open {
+            breaks.push(format!("element <{name}> closed (was open)"));
+        }
+    }
+    if breaks.is_empty() {
+        Compatibility::BackwardCompatible
+    } else {
+        Compatibility::Breaking(breaks)
+    }
+}
+
+impl Schema {
+    /// §7's extension challenge: "a systematic framework for supporting
+    /// the extension of the global profile schema (for both local and
+    /// global extensions)". An extension contributes new element
+    /// declarations plus *attachment points* — optional child slots
+    /// added to existing elements. The result is checked to be backward
+    /// compatible with `self` (every old document stays valid), which is
+    /// exactly what makes an extension safe to roll out one organization
+    /// at a time.
+    pub fn extend(
+        &self,
+        version: &str,
+        new_decls: &[ElementDecl],
+        attachments: &[(&str, ChildDecl)],
+    ) -> Result<Schema, Vec<String>> {
+        let mut errors = Vec::new();
+        let mut out = self.clone();
+        out.version = version.to_string();
+
+        for decl in new_decls {
+            if let Some(existing) = self.decl(&decl.name) {
+                if existing != decl {
+                    errors.push(format!(
+                        "extension redefines <{}> incompatibly with the global schema",
+                        decl.name
+                    ));
+                    continue;
+                }
+            }
+            out.declare(decl.clone());
+        }
+        for (parent, child) in attachments {
+            if !out.elements.contains_key(*parent) {
+                errors.push(format!("attachment point <{parent}> is not declared"));
+                continue;
+            }
+            if child.occurs.min > 0 {
+                errors.push(format!(
+                    "extension child <{}> of <{parent}> must be optional (min 0)",
+                    child.name
+                ));
+                continue;
+            }
+            if !out.elements.contains_key(&child.name) {
+                errors.push(format!("extension child <{}> has no declaration", child.name));
+                continue;
+            }
+            let p = out.elements.get_mut(*parent).expect("checked above");
+            if p.child_decl(&child.name).is_none() {
+                p.children.push(child.clone());
+            }
+        }
+        if errors.is_empty() {
+            // Belt and braces: the whole result must be backward
+            // compatible with the base schema.
+            match compatibility(self, &out) {
+                Compatibility::BackwardCompatible => Ok(out),
+                Compatibility::Breaking(why) => Err(why),
+            }
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::gup::gup_schema;
+    use crate::schema::{ElementDecl, Occurs};
+
+    fn base() -> Schema {
+        Schema::new("user", "v1")
+            .with(
+                ElementDecl::new("user")
+                    .attr("id", DataType::Text, true)
+                    .child("book", Occurs::OPTIONAL),
+            )
+            .with(ElementDecl::new("book").child("item", Occurs::MANY))
+            .with(ElementDecl::new("item").attr("id", DataType::Text, true))
+    }
+
+    #[test]
+    fn identity_upgrade_compatible() {
+        assert!(compatibility(&base(), &base()).is_backward_compatible());
+        let g = gup_schema();
+        assert!(compatibility(&g, &g).is_backward_compatible());
+    }
+
+    #[test]
+    fn adding_optional_child_compatible() {
+        let mut v2 = base();
+        let d = v2.decl("user").unwrap().clone().child("presence", Occurs::OPTIONAL);
+        v2.declare(d);
+        v2.declare(ElementDecl::new("presence"));
+        assert!(compatibility(&base(), &v2).is_backward_compatible());
+    }
+
+    #[test]
+    fn adding_optional_attr_compatible() {
+        let mut v2 = base();
+        let d = v2.decl("item").unwrap().clone().attr("type", DataType::Text, false);
+        v2.declare(d);
+        assert!(compatibility(&base(), &v2).is_backward_compatible());
+    }
+
+    #[test]
+    fn adding_required_attr_breaks() {
+        let mut v2 = base();
+        let d = v2.decl("item").unwrap().clone().attr("type", DataType::Text, true);
+        v2.declare(d);
+        let Compatibility::Breaking(why) = compatibility(&base(), &v2) else {
+            panic!("expected breaking");
+        };
+        assert!(why[0].contains("required attribute"));
+    }
+
+    #[test]
+    fn removing_element_breaks() {
+        let mut v2 = base();
+        v2.elements.remove("book");
+        assert!(!compatibility(&base(), &v2).is_backward_compatible());
+    }
+
+    #[test]
+    fn tightening_occurrence_breaks() {
+        let mut v2 = base();
+        let mut d = v2.decl("book").unwrap().clone();
+        d.children[0].occurs = Occurs::ONE;
+        v2.declare(d);
+        assert!(!compatibility(&base(), &v2).is_backward_compatible());
+    }
+
+    #[test]
+    fn relaxing_occurrence_compatible() {
+        let mut v1 = base();
+        let mut d = v1.decl("book").unwrap().clone();
+        d.children[0].occurs = Occurs::ONE;
+        v1.declare(d);
+        // v1 requires exactly one item; base allows many.
+        assert!(compatibility(&v1, &base()).is_backward_compatible());
+    }
+
+    #[test]
+    fn retyping_attr_breaks() {
+        let mut v2 = base();
+        let mut d = v2.decl("item").unwrap().clone();
+        d.attrs[0].datatype = DataType::Integer;
+        v2.declare(d);
+        assert!(!compatibility(&base(), &v2).is_backward_compatible());
+    }
+
+    #[test]
+    fn closing_open_element_breaks() {
+        let mut v1 = base();
+        let d = v1.decl("item").unwrap().clone().open();
+        v1.declare(d);
+        assert!(!compatibility(&v1, &base()).is_backward_compatible());
+    }
+
+    #[test]
+    fn extension_adds_component_backward_compatibly() {
+        use crate::schema::{ChildDecl, ContentModel};
+        let g = gup_schema();
+        // A gaming operator's local extension: per-game achievements.
+        let ext = g
+            .extend(
+                "gup-1.0+gaming",
+                &[
+                    ElementDecl::new("achievements").child("badge", Occurs::MANY),
+                    ElementDecl::new("badge")
+                        .attr("id", DataType::Text, true)
+                        .content(ContentModel::Text(DataType::Text)),
+                ],
+                &[("Gaming", ChildDecl { name: "achievements".into(), occurs: Occurs::OPTIONAL })],
+            )
+            .unwrap();
+        assert!(compatibility(&g, &ext).is_backward_compatible());
+        // Old documents stay valid; extended documents validate too.
+        let doc = crate::gup::sample_profile("arnaud");
+        assert_eq!(ext.validate(&doc), vec![]);
+        let mut extended = doc.clone();
+        extended
+            .get_or_create_path(&["applications", "Gaming", "achievements"])
+            .push_child(
+                gupster_xml::Element::new("badge").with_attr("id", "b1").with_text("first win"),
+            );
+        assert_eq!(ext.validate(&extended), vec![]);
+        // …and the extended doc is invalid under the base schema.
+        assert!(!g.validate(&extended).is_empty());
+        // Extended paths are admitted by the extended schema only.
+        let path = gupster_xpath::Path::parse("/user/applications/Gaming/achievements").unwrap();
+        assert!(ext.admits_path(&path));
+        assert!(!g.admits_path(&path));
+    }
+
+    #[test]
+    fn extension_rejects_mandatory_children_and_redefinitions() {
+        use crate::schema::{ChildDecl, ContentModel};
+        let g = gup_schema();
+        let err = g
+            .extend(
+                "v2",
+                &[ElementDecl::new("extras")],
+                &[("Gaming", ChildDecl { name: "extras".into(), occurs: Occurs::ONE })],
+            )
+            .unwrap_err();
+        assert!(err[0].contains("must be optional"), "{err:?}");
+        // Redefining an existing element incompatibly is refused.
+        let err = g
+            .extend(
+                "v2",
+                &[ElementDecl::new("presence").content(ContentModel::Empty)],
+                &[],
+            )
+            .unwrap_err();
+        assert!(err[0].contains("redefines"), "{err:?}");
+        // Unknown attachment points and undeclared children are refused.
+        let err = g
+            .extend(
+                "v2",
+                &[],
+                &[("Nowhere", ChildDecl { name: "x".into(), occurs: Occurs::OPTIONAL })],
+            )
+            .unwrap_err();
+        assert!(err[0].contains("not declared"), "{err:?}");
+    }
+
+    #[test]
+    fn root_rename_breaks() {
+        let mut v2 = base();
+        v2.root = "MyProfile".into();
+        assert!(!compatibility(&base(), &v2).is_backward_compatible());
+    }
+}

@@ -1,0 +1,34 @@
+//! Error type for data-store operations.
+
+use std::fmt;
+
+/// Errors raised by data stores and adapters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store holds no profile for this user.
+    UnknownUser(String),
+    /// The update target did not resolve to any node.
+    NoSuchTarget(String),
+    /// The store cannot perform this operation (capability mismatch).
+    Unsupported(String),
+    /// An adapter could not translate the request onto its backend.
+    Untranslatable(String),
+    /// The backend rejected the operation.
+    Backend(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownUser(u) => write!(f, "unknown user '{u}'"),
+            StoreError::NoSuchTarget(p) => write!(f, "update target matched nothing: {p}"),
+            StoreError::Unsupported(what) => write!(f, "operation not supported: {what}"),
+            StoreError::Untranslatable(what) => {
+                write!(f, "adapter cannot translate request: {what}")
+            }
+            StoreError::Backend(why) => write!(f, "backend error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,149 @@
+//! The GUP-compliant data-store interface.
+
+use std::fmt;
+
+use gupster_xml::Element;
+use gupster_xpath::Path;
+
+use crate::error::StoreError;
+
+/// Identifier of a data store, e.g. `gup.yahoo.com` — the referral
+/// targets the paper returns from the GUPster server (§4.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StoreId(pub String);
+
+impl StoreId {
+    /// Creates a store id.
+    pub fn new(s: impl Into<String>) -> Self {
+        StoreId(s.into())
+    }
+}
+
+impl fmt::Display for StoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// What a store can do; the registry consults this when choosing query
+/// patterns (§5.2: thin clients cannot merge, some stores cannot chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Supports XPath-targeted updates.
+    pub can_update: bool,
+    /// Supports change subscriptions.
+    pub can_subscribe: bool,
+    /// Can execute a forwarded (chained) query against *other* stores.
+    pub can_chain: bool,
+}
+
+impl Capabilities {
+    /// Full capabilities.
+    pub const FULL: Capabilities =
+        Capabilities { can_update: true, can_subscribe: true, can_chain: true };
+    /// Read-only source (e.g. a presence feed).
+    pub const READ_ONLY: Capabilities =
+        Capabilities { can_update: false, can_subscribe: true, can_chain: false };
+}
+
+/// An update operation, targeted by an XPath expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Replace the text content of every node the path selects.
+    SetText(Path, String),
+    /// Set an attribute on every node the path selects.
+    SetAttr(Path, String, String),
+    /// Append `element` as a child of every node the path selects.
+    InsertChild(Path, Element),
+    /// Delete every node the path selects.
+    Delete(Path),
+    /// Replace every node the path selects with `element`.
+    Replace(Path, Element),
+}
+
+impl UpdateOp {
+    /// The target path of the operation.
+    pub fn path(&self) -> &Path {
+        match self {
+            UpdateOp::SetText(p, _)
+            | UpdateOp::SetAttr(p, _, _)
+            | UpdateOp::InsertChild(p, _)
+            | UpdateOp::Delete(p)
+            | UpdateOp::Replace(p, _) => p,
+        }
+    }
+}
+
+/// A change notification emitted by a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeEvent {
+    /// The user whose profile changed.
+    pub user: String,
+    /// The path that was written.
+    pub path: Path,
+    /// The store's generation after the write.
+    pub generation: u64,
+}
+
+/// The GUP-compliant interface every participating store exposes
+/// (natively or through an adapter).
+pub trait DataStore {
+    /// The store's identity (referral target).
+    fn id(&self) -> &StoreId;
+
+    /// Evaluates a query path and returns the selected fragments
+    /// (copies). A request like `/user[@id='arnaud']/address-book`
+    /// returns the address-book subtree(s).
+    fn query(&self, path: &Path) -> Result<Vec<Element>, StoreError>;
+
+    /// Applies an update for the given user.
+    fn update(&mut self, user: &str, op: &UpdateOp) -> Result<(), StoreError>;
+
+    /// Users this store holds data for.
+    fn users(&self) -> Vec<String>;
+
+    /// Monotone modification counter.
+    fn generation(&self) -> u64;
+
+    /// Capability discovery.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Drains pending change events (empty if subscriptions are
+    /// unsupported). GUPster's subscription manager polls or forwards
+    /// these (§5.2).
+    fn drain_events(&mut self) -> Vec<ChangeEvent>;
+
+    /// Approximate serialized size of the result a query would return —
+    /// used by the network simulator to charge transfer time without
+    /// materializing twice.
+    fn result_bytes(&self, path: &Path) -> usize {
+        self.query(path).map(|es| es.iter().map(Element::byte_size).sum()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_id_display() {
+        assert_eq!(StoreId::new("gup.yahoo.com").to_string(), "gup.yahoo.com");
+    }
+
+    #[test]
+    fn update_op_paths() {
+        let p = Path::parse("/user/presence").unwrap();
+        let op = UpdateOp::SetText(p.clone(), "busy".into());
+        assert_eq!(op.path(), &p);
+        let op = UpdateOp::Delete(p.clone());
+        assert_eq!(op.path(), &p);
+    }
+
+    #[test]
+    fn capability_presets() {
+        let presets = [Capabilities::FULL, Capabilities::READ_ONLY];
+        let updatable: Vec<bool> = presets.iter().map(|c| c.can_update).collect();
+        assert_eq!(updatable, vec![true, false]);
+        assert!(presets.iter().all(|c| c.can_subscribe));
+    }
+}

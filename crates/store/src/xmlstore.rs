@@ -1,0 +1,299 @@
+//! A native XML profile store.
+//!
+//! This is what a GUP-native host (an internet portal, a presence
+//! server) runs: per-user profile documents, XPath query/update, change
+//! events for subscriptions.
+
+use std::collections::BTreeMap;
+
+use gupster_xml::Element;
+use gupster_xpath::Path;
+
+use crate::error::StoreError;
+use crate::store_trait::{Capabilities, ChangeEvent, DataStore, StoreId, UpdateOp};
+
+/// In-memory XML data store holding one profile document per user.
+#[derive(Debug, Clone)]
+pub struct XmlStore {
+    id: StoreId,
+    docs: BTreeMap<String, Element>,
+    generation: u64,
+    events: Vec<ChangeEvent>,
+}
+
+impl XmlStore {
+    /// Creates an empty store.
+    pub fn new(id: impl Into<String>) -> Self {
+        XmlStore { id: StoreId::new(id), docs: BTreeMap::new(), generation: 0, events: Vec::new() }
+    }
+
+    /// Inserts or replaces a user's whole profile document. The document
+    /// root must carry the user id (`<user id="…">`).
+    pub fn put_profile(&mut self, doc: Element) -> Result<(), StoreError> {
+        let user = doc
+            .attr("id")
+            .ok_or_else(|| StoreError::Backend("profile root lacks an id attribute".into()))?
+            .to_string();
+        self.docs.insert(user.clone(), doc);
+        self.generation += 1;
+        self.events.push(ChangeEvent {
+            user,
+            path: Path::from_names(&["user"]),
+            generation: self.generation,
+        });
+        Ok(())
+    }
+
+    /// Removes a user's profile (used when a subscriber churns away —
+    /// the §2.1 carrier-switch scenario).
+    pub fn remove_profile(&mut self, user: &str) -> Option<Element> {
+        let doc = self.docs.remove(user);
+        if doc.is_some() {
+            self.generation += 1;
+            self.events.push(ChangeEvent {
+                user: user.to_string(),
+                path: Path::from_names(&["user"]),
+                generation: self.generation,
+            });
+        }
+        doc
+    }
+
+    /// Direct read access to a profile document.
+    pub fn profile(&self, user: &str) -> Option<&Element> {
+        self.docs.get(user)
+    }
+
+    /// Number of profiles held.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if the store holds no profiles.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The user a query path addresses: the value of the `[@id='…']`
+    /// predicate on the first step, if present.
+    fn target_users<'a>(&'a self, path: &Path) -> Vec<(&'a String, &'a Element)> {
+        use gupster_xpath::Predicate;
+        let id_pred = path.steps.first().and_then(|s| {
+            s.predicates.iter().find_map(|p| match p {
+                Predicate::AttrEq(a, v) if a == "id" => Some(v.clone()),
+                _ => None,
+            })
+        });
+        match id_pred {
+            Some(uid) => self.docs.get_key_value(&uid).into_iter().collect(),
+            None => self.docs.iter().collect(),
+        }
+    }
+}
+
+impl DataStore for XmlStore {
+    fn id(&self) -> &StoreId {
+        &self.id
+    }
+
+    fn query(&self, path: &Path) -> Result<Vec<Element>, StoreError> {
+        let mut out = Vec::new();
+        for (_, doc) in self.target_users(path) {
+            out.extend(path.select(doc).into_iter().cloned());
+        }
+        Ok(out)
+    }
+
+    fn update(&mut self, user: &str, op: &UpdateOp) -> Result<(), StoreError> {
+        let doc = self
+            .docs
+            .get_mut(user)
+            .ok_or_else(|| StoreError::UnknownUser(user.to_string()))?;
+        let addrs = op.path().select_node_paths(doc);
+        if addrs.is_empty() {
+            // InsertChild may target a container that doesn't exist yet
+            // for container-less ops we fail.
+            return Err(StoreError::NoSuchTarget(op.path().to_string()));
+        }
+        match op {
+            UpdateOp::SetText(_, text) => {
+                for a in &addrs {
+                    a.resolve_mut(doc).expect("addressed").set_text(text.clone());
+                }
+            }
+            UpdateOp::SetAttr(_, name, value) => {
+                for a in &addrs {
+                    a.resolve_mut(doc).expect("addressed").set_attr(name.clone(), value.clone());
+                }
+            }
+            UpdateOp::InsertChild(_, child) => {
+                for a in &addrs {
+                    a.resolve_mut(doc).expect("addressed").push_child(child.clone());
+                }
+            }
+            UpdateOp::Delete(_) => {
+                // Remove in reverse document order so earlier removals
+                // don't shift the occurrence indices of later addresses
+                // (indices count same-named siblings only, so comparing
+                // the index sequences lexicographically is sufficient).
+                let mut sorted = addrs.clone();
+                sorted.sort_by(|a, b| {
+                    let ka: Vec<usize> = a.steps.iter().map(|s| s.index).collect();
+                    let kb: Vec<usize> = b.steps.iter().map(|s| s.index).collect();
+                    kb.cmp(&ka)
+                });
+                for a in &sorted {
+                    a.remove(doc).map_err(|e| StoreError::Backend(e.to_string()))?;
+                }
+            }
+            UpdateOp::Replace(_, new) => {
+                for a in &addrs {
+                    *a.resolve_mut(doc).expect("addressed") = new.clone();
+                }
+            }
+        }
+        self.generation += 1;
+        self.events.push(ChangeEvent {
+            user: user.to_string(),
+            path: op.path().clone(),
+            generation: self.generation,
+        });
+        Ok(())
+    }
+
+    fn users(&self) -> Vec<String> {
+        self.docs.keys().cloned().collect()
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::FULL
+    }
+
+    fn drain_events(&mut self) -> Vec<ChangeEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupster_xml::parse;
+
+    fn store() -> XmlStore {
+        let mut s = XmlStore::new("gup.yahoo.com");
+        s.put_profile(
+            parse(
+                r#"<user id="arnaud"><address-book><item id="1" type="personal"><name>Mom</name></item></address-book><presence>online</presence></user>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        s.put_profile(parse(r#"<user id="rick"><presence>away</presence></user>"#).unwrap())
+            .unwrap();
+        s.drain_events();
+        s
+    }
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    #[test]
+    fn query_single_user() {
+        let s = store();
+        let r = s.query(&p("/user[@id='arnaud']/presence")).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].text(), "online");
+    }
+
+    #[test]
+    fn query_across_users_without_id_predicate() {
+        let s = store();
+        let r = s.query(&p("/user/presence")).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn query_unknown_user_is_empty() {
+        let s = store();
+        assert!(s.query(&p("/user[@id='ghost']/presence")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn set_text_update() {
+        let mut s = store();
+        s.update("arnaud", &UpdateOp::SetText(p("/user/presence"), "busy".into())).unwrap();
+        assert_eq!(s.query(&p("/user[@id='arnaud']/presence")).unwrap()[0].text(), "busy");
+        // Only arnaud changed.
+        assert_eq!(s.query(&p("/user[@id='rick']/presence")).unwrap()[0].text(), "away");
+    }
+
+    #[test]
+    fn insert_and_delete_children() {
+        let mut s = store();
+        let item = parse(r#"<item id="2" type="corporate"><name>Rick</name></item>"#).unwrap();
+        s.update("arnaud", &UpdateOp::InsertChild(p("/user/address-book"), item)).unwrap();
+        assert_eq!(s.query(&p("/user[@id='arnaud']/address-book/item")).unwrap().len(), 2);
+        s.update("arnaud", &UpdateOp::Delete(p("/user/address-book/item[@id='1']"))).unwrap();
+        let left = s.query(&p("/user[@id='arnaud']/address-book/item")).unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].attr("id"), Some("2"));
+    }
+
+    #[test]
+    fn delete_multiple_targets_handles_index_shift() {
+        let mut s = XmlStore::new("t");
+        s.put_profile(
+            parse(r#"<user id="u"><l><v>1</v><v>2</v><v>3</v></l></user>"#).unwrap(),
+        )
+        .unwrap();
+        s.update("u", &UpdateOp::Delete(p("/user/l/v"))).unwrap();
+        assert!(s.query(&p("/user/l/v")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_missing_target_errors() {
+        let mut s = store();
+        let err = s.update("arnaud", &UpdateOp::SetText(p("/user/calendar"), "x".into()));
+        assert!(matches!(err, Err(StoreError::NoSuchTarget(_))));
+        let err = s.update("ghost", &UpdateOp::SetText(p("/user/presence"), "x".into()));
+        assert!(matches!(err, Err(StoreError::UnknownUser(_))));
+    }
+
+    #[test]
+    fn events_emitted_on_writes() {
+        let mut s = store();
+        s.update("arnaud", &UpdateOp::SetText(p("/user/presence"), "busy".into())).unwrap();
+        let ev = s.drain_events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].user, "arnaud");
+        assert_eq!(ev[0].path.to_string(), "/user/presence");
+        assert!(s.drain_events().is_empty());
+    }
+
+    #[test]
+    fn profile_without_id_rejected() {
+        let mut s = XmlStore::new("t");
+        assert!(s.put_profile(parse("<user/>").unwrap()).is_err());
+    }
+
+    #[test]
+    fn remove_profile_for_churn() {
+        let mut s = store();
+        assert!(s.remove_profile("rick").is_some());
+        assert!(s.remove_profile("rick").is_none());
+        assert_eq!(s.users(), vec!["arnaud"]);
+    }
+
+    #[test]
+    fn result_bytes_counts_serialized_size() {
+        let s = store();
+        let n = s.result_bytes(&p("/user[@id='arnaud']/address-book"));
+        assert!(n > 20, "{n}");
+        assert_eq!(s.result_bytes(&p("/user[@id='arnaud']/calendar")), 0);
+    }
+}

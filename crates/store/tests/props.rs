@@ -1,0 +1,134 @@
+//! Property tests local to the store crate: adapter view/query
+//! consistency, relational index coherence, and update/event laws.
+
+use proptest::prelude::*;
+
+use gupster_store::relational::{Table, Value};
+use gupster_store::{DataStore, LdapAdapter, RelationalAdapter, StoreId, UpdateOp, XmlStore};
+use gupster_xml::Element;
+use gupster_xpath::Path;
+
+fn contacts() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec(("[A-Za-z]{1,8}", "[0-9]{3}-[0-9]{4}"), 0..8)
+}
+
+proptest! {
+    /// Querying through the relational adapter equals selecting over its
+    /// own virtual view — the adapter adds no phantom data.
+    #[test]
+    fn relational_adapter_query_matches_view(cs in contacts()) {
+        let mut a = RelationalAdapter::new("gup.spcs.com");
+        a.add_subscriber("alice", "Alice", "908-555-0199");
+        for (name, phone) in &cs {
+            a.add_contact("alice", "personal", name, phone);
+        }
+        let view = a.gup_view("alice").unwrap();
+        for expr in [
+            "/user[@id='alice']/address-book/item",
+            "/user[@id='alice']/presence",
+            "/user[@id='alice']/devices/device/number",
+        ] {
+            let path = Path::parse(expr).unwrap();
+            let through: Vec<String> =
+                a.query(&path).unwrap().iter().map(Element::to_xml).collect();
+            let direct: Vec<String> =
+                path.select(&view).iter().map(|e| e.to_xml()).collect();
+            prop_assert_eq!(through, direct, "{}", expr);
+        }
+        prop_assert_eq!(
+            a.query(&Path::parse("/user[@id='alice']/address-book/item").unwrap())
+                .unwrap()
+                .len(),
+            cs.len()
+        );
+    }
+
+    /// The LDAP adapter round-trips contacts added through the GUP
+    /// update interface.
+    #[test]
+    fn ldap_adapter_insert_then_query(cs in contacts()) {
+        let mut a = LdapAdapter::new("gup.lucent.com", "lucent");
+        a.add_user("alice", "Alice", "Smith").unwrap();
+        for (name, phone) in &cs {
+            let item = Element::new("item")
+                .with_attr("type", "corporate")
+                .with_child(Element::new("name").with_text(name.clone()))
+                .with_child(Element::new("phone").with_text(phone.clone()));
+            a.update(
+                "alice",
+                &UpdateOp::InsertChild(Path::parse("/user/address-book").unwrap(), item),
+            )
+            .unwrap();
+        }
+        let items = a
+            .query(&Path::parse("/user[@id='alice']/address-book/item").unwrap())
+            .unwrap();
+        prop_assert_eq!(items.len(), cs.len());
+        for (name, phone) in &cs {
+            let q = Path::parse(&format!("/user/address-book/item[name='{name}']/phone"))
+                .unwrap();
+            let phones = a.query(&q).unwrap();
+            prop_assert!(
+                phones.iter().any(|p| p.text() == *phone),
+                "contact {name} lost its phone"
+            );
+        }
+    }
+
+    /// Secondary-index lookups agree with full scans after arbitrary
+    /// upsert/delete interleavings.
+    #[test]
+    fn relational_index_coherent(
+        ops in prop::collection::vec((0i64..20, "[a-c]", prop::bool::ANY), 0..30)
+    ) {
+        let mut indexed = Table::new(&["id", "city"]);
+        indexed.index_on("city");
+        let mut plain = Table::new(&["id", "city"]);
+        for (id, city, del) in &ops {
+            if *del {
+                indexed.delete(&Value::Int(*id));
+                plain.delete(&Value::Int(*id));
+            } else {
+                indexed.upsert(vec![Value::Int(*id), Value::text(city.clone())]).unwrap();
+                plain.upsert(vec![Value::Int(*id), Value::text(city.clone())]).unwrap();
+            }
+        }
+        for city in ["a", "b", "c"] {
+            let via_index: Vec<_> = indexed.lookup("city", &Value::text(city));
+            let via_scan: Vec<_> = plain.lookup("city", &Value::text(city));
+            let mut ix: Vec<String> = via_index.iter().map(|r| r[0].render()).collect();
+            let mut sc: Vec<String> = via_scan.iter().map(|r| r[0].render()).collect();
+            ix.sort();
+            sc.sort();
+            prop_assert_eq!(ix, sc, "city={}", city);
+        }
+    }
+
+    /// Every successful XmlStore update emits exactly one event carrying
+    /// the op's path, and failed updates emit none.
+    #[test]
+    fn xmlstore_event_per_update(texts in prop::collection::vec("[a-z]{1,6}", 1..6)) {
+        let mut s = XmlStore::new("t");
+        s.put_profile(
+            Element::new("user")
+                .with_attr("id", "u")
+                .with_child(Element::new("presence").with_text("init")),
+        )
+        .unwrap();
+        s.drain_events();
+        let path = Path::parse("/user/presence").unwrap();
+        for t in &texts {
+            s.update("u", &UpdateOp::SetText(path.clone(), t.clone())).unwrap();
+        }
+        let bad = s.update("u", &UpdateOp::SetText(Path::parse("/user/ghost").unwrap(), "x".into()));
+        prop_assert!(bad.is_err());
+        let events = s.drain_events();
+        prop_assert_eq!(events.len(), texts.len());
+        prop_assert!(events.iter().all(|e| e.path == path && e.user == "u"));
+        // Generations strictly increase.
+        for w in events.windows(2) {
+            prop_assert!(w[0].generation < w[1].generation);
+        }
+        prop_assert_eq!(s.id(), &StoreId::new("t"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-replica change logs.
+
+use gupster_xml::EditOp;
+
+/// One logged edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Sequence number within this replica's log (1-based, dense).
+    pub seq: u64,
+    /// The edit.
+    pub op: EditOp,
+    /// Who made it (a replica/site id).
+    pub actor: String,
+    /// Logical timestamp (Lamport-style: max(local, seen) + 1).
+    pub timestamp: u64,
+}
+
+/// An append-only log of edits to one replica.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeLog {
+    entries: Vec<LogEntry>,
+}
+
+impl ChangeLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an edit; returns its sequence number.
+    pub fn append(&mut self, op: EditOp, actor: &str, timestamp: u64) -> u64 {
+        let seq = self.entries.len() as u64 + 1;
+        self.entries.push(LogEntry { seq, op, actor: actor.to_string(), timestamp });
+        seq
+    }
+
+    /// Entries with `seq > after` (i.e. everything the peer hasn't seen).
+    pub fn since(&self, after: u64) -> &[LogEntry] {
+        let start = (after as usize).min(self.entries.len());
+        &self.entries[start..]
+    }
+
+    /// Highest sequence number (0 when empty).
+    pub fn head(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Truncates the log, keeping only entries after `seq` baseline
+    /// zero — used after a slow sync establishes a fresh baseline.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupster_xml::NodePath;
+
+    fn op(text: &str) -> EditOp {
+        EditOp::SetText { path: NodePath::root().child("presence", 0), text: text.into() }
+    }
+
+    #[test]
+    fn append_and_since() {
+        let mut log = ChangeLog::new();
+        assert_eq!(log.append(op("a"), "phone", 1), 1);
+        assert_eq!(log.append(op("b"), "phone", 2), 2);
+        assert_eq!(log.append(op("c"), "phone", 3), 3);
+        assert_eq!(log.head(), 3);
+        assert_eq!(log.since(0).len(), 3);
+        assert_eq!(log.since(2).len(), 1);
+        assert_eq!(log.since(2)[0].seq, 3);
+        assert!(log.since(3).is_empty());
+        assert!(log.since(99).is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = ChangeLog::new();
+        log.append(op("a"), "x", 1);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.head(), 0);
+        // Sequence numbers restart after a new baseline.
+        assert_eq!(log.append(op("b"), "x", 2), 1);
+    }
+}

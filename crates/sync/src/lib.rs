@@ -1,0 +1,32 @@
+//! # gupster-sync
+//!
+//! Data synchronization and reconciliation (Requirements 6 and 7 of the
+//! paper). 3GPP GUP picked SyncML as the transport, but "SyncML is only
+//! a transport protocol. Issues like synchronization semantics need to
+//! be addressed" (§5.3) — this crate implements those semantics:
+//!
+//! * per-replica **change logs** ([`ChangeLog`]) carrying the edit
+//!   operations of `gupster-xml`,
+//! * **sync anchors** ([`Anchors`]) in the SyncML style: each side
+//!   remembers how far into the peer's log it has synced; anchor
+//!   mismatch forces a *slow sync* (full-state compare),
+//! * **two-way sync sessions** ([`two_way_sync`]) with conflict
+//!   detection (overlapping edits since the last anchors),
+//! * **reconciliation policies** ([`ReconcilePolicy`]): site priority,
+//!   last-writer-wins, or a manual queue — "end-users should be able to
+//!   provision the policies used to reconcile profile data" (Req. 6).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod anchor;
+mod changelog;
+mod reconcile;
+mod replica;
+mod session;
+
+pub use anchor::Anchors;
+pub use changelog::{ChangeLog, LogEntry};
+pub use reconcile::ReconcilePolicy;
+pub use replica::Replica;
+pub use session::{two_way_sync, SyncError, SyncReport};

@@ -1,0 +1,82 @@
+//! Entity escaping and unescaping for text and attribute values.
+
+/// Escapes the five predefined XML entities for use in text content.
+pub(crate) fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes for a double-quoted attribute value.
+pub(crate) fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Resolves one entity reference starting *after* the `&`. Returns the
+/// decoded char and the number of input bytes consumed (excluding `&`),
+/// or `None` if the reference is malformed.
+pub(crate) fn resolve_entity(rest: &str) -> Option<(char, usize)> {
+    let semi = rest.find(';')?;
+    if semi == 0 || semi > 10 {
+        return None;
+    }
+    let name = &rest[..semi];
+    let ch = match name {
+        "amp" => '&',
+        "lt" => '<',
+        "gt" => '>',
+        "quot" => '"',
+        "apos" => '\'',
+        _ => {
+            let code = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else if let Some(dec) = name.strip_prefix('#') {
+                dec.parse::<u32>().ok()?
+            } else {
+                return None;
+            };
+            char::from_u32(code)?
+        }
+    };
+    Some((ch, semi + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrip_chars() {
+        let mut s = String::new();
+        escape_text("a<b&c>d", &mut s);
+        assert_eq!(s, "a&lt;b&amp;c&gt;d");
+        let mut a = String::new();
+        escape_attr(r#"say "hi" & 'bye'"#, &mut a);
+        assert_eq!(a, "say &quot;hi&quot; &amp; &apos;bye&apos;");
+    }
+
+    #[test]
+    fn entities_resolve() {
+        assert_eq!(resolve_entity("amp;x"), Some(('&', 4)));
+        assert_eq!(resolve_entity("lt;"), Some(('<', 3)));
+        assert_eq!(resolve_entity("#65;"), Some(('A', 4)));
+        assert_eq!(resolve_entity("#x41;"), Some(('A', 5)));
+        assert_eq!(resolve_entity("bogus;"), None);
+        assert_eq!(resolve_entity("noend"), None);
+        assert_eq!(resolve_entity(";"), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! XML serialization (compact and pretty).
+
+use crate::escape::{escape_attr, escape_text};
+use crate::node::{Element, Node};
+
+pub(crate) fn write_compact(e: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (n, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(n);
+        out.push_str("=\"");
+        escape_attr(v, out);
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for ch in &e.children {
+        match ch {
+            Node::Element(c) => write_compact(c, out),
+            Node::Text(t) => escape_text(t, out),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+pub(crate) fn write_pretty(e: &Element, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(&e.name);
+    for (n, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(n);
+        out.push_str("=\"");
+        escape_attr(v, out);
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    let only_text = e.children.iter().all(|c| matches!(c, Node::Text(_)));
+    out.push('>');
+    if only_text {
+        for ch in &e.children {
+            if let Node::Text(t) = ch {
+                escape_text(t, out);
+            }
+        }
+    } else {
+        for ch in &e.children {
+            out.push('\n');
+            match ch {
+                Node::Element(c) => write_pretty(c, indent + 1, out),
+                Node::Text(t) => {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    escape_text(t, out);
+                }
+            }
+        }
+        out.push('\n');
+        out.push_str(&pad);
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::node::Element;
+    use crate::parse;
+
+    #[test]
+    fn pretty_shape() {
+        let e = Element::new("a")
+            .with_child(Element::new("b").with_text("x"))
+            .with_child(Element::new("c"));
+        let p = e.to_pretty_xml();
+        assert_eq!(p, "<a>\n  <b>x</b>\n  <c/>\n</a>");
+    }
+
+    #[test]
+    fn pretty_roundtrips_to_same_value() {
+        let e = Element::new("root")
+            .with_attr("id", "u1")
+            .with_child(
+                Element::new("inner")
+                    .with_child(Element::new("leaf").with_text("v < 3 & more")),
+            );
+        assert_eq!(parse(&e.to_pretty_xml()).unwrap(), e);
+        assert_eq!(parse(&e.to_xml()).unwrap(), e);
+    }
+}

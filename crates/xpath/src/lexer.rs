@@ -1,0 +1,147 @@
+//! Tokenizer for the XPath fragment.
+
+use crate::parser::XPathError;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Token {
+    Slash,
+    DoubleSlash,
+    At,
+    Star,
+    LBracket,
+    RBracket,
+    Eq,
+    Name(String),
+    Literal(String),
+    Integer(usize),
+}
+
+pub(crate) fn tokenize(input: &str) -> Result<Vec<Token>, XPathError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    out.push(Token::DoubleSlash);
+                    i += 2;
+                } else {
+                    out.push(Token::Slash);
+                    i += 1;
+                }
+            }
+            b'@' => {
+                out.push(Token::At);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            q @ (b'\'' | b'"') => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != q {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(XPathError::new(i, "unterminated string literal"));
+                }
+                out.push(Token::Literal(input[start..j].to_string()));
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: usize = input[start..i]
+                    .parse()
+                    .map_err(|_| XPathError::new(start, "integer overflow in position"))?;
+                out.push(Token::Integer(n));
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' || c >= 0x80
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Name(input[start..i].to_string()));
+            }
+            other => {
+                return Err(XPathError::new(i, format!("unexpected character '{}'", other as char)))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("/user[@id='arnaud']//item[2]/@type").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Slash,
+                Token::Name("user".into()),
+                Token::LBracket,
+                Token::At,
+                Token::Name("id".into()),
+                Token::Eq,
+                Token::Literal("arnaud".into()),
+                Token::RBracket,
+                Token::DoubleSlash,
+                Token::Name("item".into()),
+                Token::LBracket,
+                Token::Integer(2),
+                Token::RBracket,
+                Token::Slash,
+                Token::At,
+                Token::Name("type".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn double_quoted_literal() {
+        assert_eq!(tokenize(r#""x y""#).unwrap(), vec![Token::Literal("x y".into())]);
+    }
+
+    #[test]
+    fn unterminated_literal_rejected() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn bad_char_rejected() {
+        assert!(tokenize("/a|b").is_err());
+    }
+
+    #[test]
+    fn whitespace_skipped() {
+        assert_eq!(tokenize(" / a ").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # gupster-xpath
+//!
+//! The XPath fragment GUPster uses as its *coverage language* (§4.5 of
+//! the paper): child and attribute axes plus limited predicates, extended
+//! with `//` (descendant-or-self) and `*` wildcards which the privacy
+//! shield needs for policy scopes.
+//!
+//! The crate provides:
+//!
+//! * an AST ([`Path`], [`LocStep`], [`Predicate`]),
+//! * a parser ([`Path::parse`]),
+//! * an evaluator over [`gupster_xml::Element`] trees ([`Path::select`],
+//!   [`Path::select_strings`]),
+//! * **containment** ([`contains`]) and **overlap** ([`may_overlap`])
+//!   decision procedures in the homomorphism style of Deutsch–Tannen /
+//!   Miklau–Suciu, which the registry uses to match request paths against
+//!   registered coverage (§6 "containment of XPath expressions").
+//!
+//! Containment is *sound* (never claims `p ⊑ q` falsely) and complete on
+//! the fragment without a `//`–`*` interaction; overlap is conservative
+//! (may report `true` for paths that never co-select, which only costs a
+//! spurious referral — exactly the Napster trade-off the paper accepts).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ast;
+mod containment;
+mod eval;
+mod lexer;
+mod locate;
+mod parser;
+
+pub use ast::{Axis, LocStep, NameTest, Path, Predicate};
+pub use containment::{contains, covers, may_overlap};
+pub use parser::XPathError;

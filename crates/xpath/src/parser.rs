@@ -1,0 +1,262 @@
+//! Parser for the XPath fragment.
+
+use std::fmt;
+
+use crate::ast::{Axis, LocStep, NameTest, Path, Predicate};
+use crate::lexer::{tokenize, Token};
+
+/// A syntax error in a path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Approximate byte/token offset of the error.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl XPathError {
+    pub(crate) fn new(position: usize, message: impl Into<String>) -> Self {
+        XPathError { position, message: message.into() }
+    }
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+impl Path {
+    /// Parses an absolute path expression such as
+    /// `/user[@id='arnaud']/address-book/item[@type='personal']`.
+    ///
+    /// ```
+    /// use gupster_xpath::Path;
+    ///
+    /// let p = Path::parse("/user[@id='arnaud']/address-book").unwrap();
+    /// assert_eq!(p.len(), 2);
+    /// assert_eq!(p.to_string(), "/user[@id='arnaud']/address-book");
+    /// assert!(Path::parse("not a path").is_err());
+    /// ```
+    pub fn parse(input: &str) -> Result<Path, XPathError> {
+        let toks = tokenize(input)?;
+        let mut p = P { toks: &toks, pos: 0 };
+        let path = p.parse_path()?;
+        if p.pos != p.toks.len() {
+            return Err(XPathError::new(p.pos, "trailing tokens after path"));
+        }
+        Ok(path)
+    }
+}
+
+struct P<'t> {
+    toks: &'t [Token],
+    pos: usize,
+}
+
+impl<'t> P<'t> {
+    fn peek(&self) -> Option<&'t Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'t Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> XPathError {
+        XPathError::new(self.pos, msg)
+    }
+
+    fn parse_path(&mut self) -> Result<Path, XPathError> {
+        let mut steps = Vec::new();
+        // "/" alone is the root path.
+        if self.toks == [Token::Slash] {
+            self.pos = 1;
+            return Ok(Path { steps });
+        }
+        loop {
+            let axis = match self.peek() {
+                Some(Token::Slash) => {
+                    self.pos += 1;
+                    Axis::Child
+                }
+                Some(Token::DoubleSlash) => {
+                    self.pos += 1;
+                    Axis::Descendant
+                }
+                None if !steps.is_empty() => break,
+                _ => return Err(self.err("expected '/' or '//'")),
+            };
+            let step = self.parse_step(axis)?;
+            let is_attr = step.axis == Axis::Attribute;
+            steps.push(step);
+            if is_attr {
+                if self.pos != self.toks.len() {
+                    return Err(self.err("attribute step must be final"));
+                }
+                break;
+            }
+            if self.peek().is_none() {
+                break;
+            }
+        }
+        Ok(Path { steps })
+    }
+
+    fn parse_step(&mut self, axis: Axis) -> Result<LocStep, XPathError> {
+        let (axis, test) = match self.next() {
+            Some(Token::At) => {
+                if axis == Axis::Descendant {
+                    return Err(self.err("'//@attr' is not in the fragment"));
+                }
+                let test = match self.next() {
+                    Some(Token::Name(n)) => NameTest::Name(n.clone()),
+                    Some(Token::Star) => NameTest::Any,
+                    _ => return Err(self.err("expected attribute name after '@'")),
+                };
+                (Axis::Attribute, test)
+            }
+            Some(Token::Name(n)) => (axis, NameTest::Name(n.clone())),
+            Some(Token::Star) => (axis, NameTest::Any),
+            _ => return Err(self.err("expected a name test")),
+        };
+        let mut predicates = Vec::new();
+        while self.peek() == Some(&Token::LBracket) {
+            if axis == Axis::Attribute {
+                return Err(self.err("predicates not allowed on attribute steps"));
+            }
+            self.pos += 1;
+            predicates.push(self.parse_predicate()?);
+            match self.next() {
+                Some(Token::RBracket) => {}
+                _ => return Err(self.err("expected ']'")),
+            }
+        }
+        Ok(LocStep { axis, test, predicates })
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate, XPathError> {
+        match self.next() {
+            Some(Token::Integer(n)) => {
+                if *n == 0 {
+                    return Err(self.err("positions are 1-based"));
+                }
+                Ok(Predicate::Position(*n))
+            }
+            Some(Token::At) => {
+                let name = match self.next() {
+                    Some(Token::Name(n)) => n.clone(),
+                    _ => return Err(self.err("expected attribute name after '@'")),
+                };
+                if self.peek() == Some(&Token::Eq) {
+                    self.pos += 1;
+                    match self.next() {
+                        Some(Token::Literal(v)) => Ok(Predicate::AttrEq(name, v.clone())),
+                        _ => Err(self.err("expected string literal after '='")),
+                    }
+                } else {
+                    Ok(Predicate::AttrExists(name))
+                }
+            }
+            Some(Token::Name(n)) => {
+                let name = n.clone();
+                if self.peek() == Some(&Token::Eq) {
+                    self.pos += 1;
+                    match self.next() {
+                        Some(Token::Literal(v)) => Ok(Predicate::ChildEq(name, v.clone())),
+                        _ => Err(self.err("expected string literal after '='")),
+                    }
+                } else {
+                    Ok(Predicate::ChildExists(name))
+                }
+            }
+            _ => Err(self.err("expected a predicate")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap_or_else(|e| panic!("parse {s}: {e}"))
+    }
+
+    #[test]
+    fn paper_examples_parse() {
+        // Exactly the expressions from §4.3 / Fig. 9.
+        for s in [
+            "/user[@id='arnaud']/address-book",
+            "/user[@id='arnaud']/presence",
+            "/user[@id='arnaud']/address-book/item[@type='personal']",
+            "/user[@id='arnaud']/address-book/item[@type='corporate']",
+        ] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn root_path() {
+        assert!(p("/").is_empty());
+    }
+
+    #[test]
+    fn descendant_and_wildcard() {
+        let path = p("//item[@id='3']/*");
+        assert_eq!(path.steps[0].axis, Axis::Descendant);
+        assert_eq!(path.steps[1].test, NameTest::Any);
+        assert_eq!(path.to_string(), "//item[@id='3']/*");
+    }
+
+    #[test]
+    fn attribute_final_step() {
+        let path = p("/user/@id");
+        assert!(path.targets_attribute());
+        assert_eq!(path.to_string(), "/user/@id");
+    }
+
+    #[test]
+    fn attribute_must_be_final() {
+        assert!(Path::parse("/user/@id/book").is_err());
+    }
+
+    #[test]
+    fn predicates_variants() {
+        let path = p("/a[b='1'][@c][d][2]");
+        assert_eq!(
+            path.steps[0].predicates,
+            vec![
+                Predicate::ChildEq("b".into(), "1".into()),
+                Predicate::AttrExists("c".into()),
+                Predicate::ChildExists("d".into()),
+                Predicate::Position(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn relative_path_rejected() {
+        assert!(Path::parse("user/book").is_err());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        for bad in ["/a[", "/a[@]", "/a[=1]", "/a]", "/a[0]", "", "/a[@x=y]", "//@id"] {
+            assert!(Path::parse(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["/a/b/c", "//x", "/a[@k='v']//b[c='2'][3]/@attr", "/*", "/"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Quickstart: a two-store federation in ~60 lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Yahoo! holds Arnaud's address book and game scores; SprintPCS holds
+//! his address book and presence (the exact §4.3 walk-through). We
+//! register the coverage, ask GUPster, follow the referral, and merge.
+
+use gupster::core::{fetch_merge, Gupster, StorePool};
+use gupster::policy::{Purpose, WeekTime};
+use gupster::schema::gup_schema;
+use gupster::store::{StoreId, XmlStore};
+use gupster::xml::{parse, MergeKeys};
+use gupster::xpath::Path;
+
+fn main() {
+    // 1. Data stores join the GUPster community (§4.3).
+    let mut yahoo = XmlStore::new("gup.yahoo.com");
+    yahoo
+        .put_profile(
+            parse(
+                r#"<user id="arnaud">
+                     <address-book>
+                       <item id="1" type="personal"><name>Mom</name><phone>908-555-0101</phone></item>
+                     </address-book>
+                     <applications><Gaming><game-score game="chess">1450</game-score></Gaming></applications>
+                   </user>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let mut lucent = XmlStore::new("gup.lucent.com");
+    lucent
+        .put_profile(
+            parse(
+                r#"<user id="arnaud">
+                     <address-book>
+                       <item id="2" type="corporate"><name>Rick</name><phone>908-582-4393</phone></item>
+                     </address-book>
+                     <presence>online</presence>
+                   </user>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+    // 2. The GUPster server: register what each store holds — the Fig. 9
+    //    split: personal entries at Yahoo!, corporate ones at Lucent.
+    let mut gupster = Gupster::new(gup_schema(), b"quickstart-key");
+    let reg = |g: &mut Gupster, path: &str, store: &str| {
+        g.register_component("arnaud", Path::parse(path).unwrap(), StoreId::new(store)).unwrap();
+    };
+    reg(&mut gupster, "/user[@id='arnaud']/address-book/item[@type='personal']", "gup.yahoo.com");
+    reg(&mut gupster, "/user[@id='arnaud']/address-book/item[@type='corporate']", "gup.lucent.com");
+    reg(&mut gupster, "/user[@id='arnaud']/presence", "gup.lucent.com");
+    reg(&mut gupster, "/user[@id='arnaud']/applications/Gaming", "gup.yahoo.com");
+
+    let mut pool = StorePool::new();
+    pool.add(Box::new(yahoo));
+    pool.add(Box::new(lucent));
+
+    // 3. A client asks for the address book and gets a *referral*, not
+    //    data: "gup.yahoo.com/... || gup.spcs.com/..." (§4.3).
+    let request = Path::parse("/user[@id='arnaud']/address-book").unwrap();
+    let out = gupster
+        .lookup("arnaud", &request, "arnaud", Purpose::Query, WeekTime::at(0, 10, 0), 100)
+        .unwrap();
+    println!("referral from GUPster:\n  {}", out.referral);
+
+    // 4. Fetch directly from the stores and merge the fragments.
+    let signer = gupster.signer();
+    let keys = MergeKeys::new().with_key("item", "id");
+    let merged = fetch_merge(&pool, &out.referral, &signer, 101, &keys).unwrap();
+    println!("\nmerged result:");
+    for frag in &merged {
+        println!("{}", frag.to_pretty_xml());
+    }
+
+    // 5. Presence is covered by one store alone: a plain referral.
+    let presence = Path::parse("/user[@id='arnaud']/presence").unwrap();
+    let out = gupster
+        .lookup("arnaud", &presence, "arnaud", Purpose::Query, WeekTime::at(0, 10, 0), 102)
+        .unwrap();
+    let r = fetch_merge(&pool, &out.referral, &signer, 102, &keys).unwrap();
+    println!("\npresence = {}", r[0].text());
+    println!("\nregistry stats: {:?}", gupster.stats);
+}

@@ -1,0 +1,23 @@
+//! # GUPster
+//!
+//! A reproduction of *"Enter Once, Share Everywhere: User Profile
+//! Management in Converged Networks"* (Sahuguet, Hull, Lieuwen, Xiong —
+//! CIDR 2003): a Napster-style meta-data manager plus federated-database
+//! machinery for end-user profile data spread across PSTN, wireless,
+//! VoIP and Web networks.
+//!
+//! This facade crate re-exports every subsystem. Start with
+//! [`core`] for the GUPster server itself, or run
+//! `cargo run --example quickstart`.
+
+#![forbid(unsafe_code)]
+
+pub use gupster_core as core;
+pub use gupster_directory as directory;
+pub use gupster_netsim as netsim;
+pub use gupster_policy as policy;
+pub use gupster_schema as schema;
+pub use gupster_store as store;
+pub use gupster_sync as sync;
+pub use gupster_xml as xml;
+pub use gupster_xpath as xpath;
