@@ -1,44 +1,29 @@
-//! Criterion bench for E14: result-cache operations under skew.
+//! Microbench for E14: result-cache operations under skew.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gupster_bench::microbench::{bench, suite};
 use gupster_bench::workload::{rng, user_id, Zipf};
 use gupster_core::cache::ResultCache;
 use gupster_xml::Element;
 use gupster_xpath::Path;
 
-fn bench_cache_mixed(c: &mut Criterion) {
+fn main() {
+    suite("cache");
     let path = Path::parse("/user/presence").unwrap();
-    c.bench_function("cache_zipf_get_put", |b| {
-        let mut cache = ResultCache::new(1_000);
-        let zipf = Zipf::new(10_000, 0.99);
-        let mut r = rng(1);
-        b.iter(|| {
-            let u = user_id(zipf.sample(&mut r));
-            if cache.get(&u, &path).is_none() {
-                cache.put(&u, &path, vec![Element::new("presence").with_text("x")]);
-            }
-        });
+    let mut cache = ResultCache::new(1_000);
+    let zipf = Zipf::new(10_000, 0.99);
+    let mut r = rng(1);
+    bench("cache_zipf_get_put", || {
+        let u = user_id(zipf.sample(&mut r));
+        if cache.get(&u, &path).is_none() {
+            cache.put(&u, &path, vec![Element::new("presence").with_text("x")]);
+        }
     });
-}
 
-fn bench_invalidate(c: &mut Criterion) {
     let book = Path::parse("/user/address-book").unwrap();
     let item = Path::parse("/user/address-book/item[@id='5']").unwrap();
-    c.bench_function("cache_invalidate_overlap", |b| {
-        let mut cache = ResultCache::new(1_000);
-        for i in 0..500 {
-            cache.put(&user_id(i), &book, vec![Element::new("address-book")]);
-        }
-        b.iter(|| cache.invalidate(&user_id(250), &item));
-    });
+    let mut cache = ResultCache::new(1_000);
+    for i in 0..500 {
+        cache.put(&user_id(i), &book, vec![Element::new("address-book")]);
+    }
+    bench("cache_invalidate_overlap", || cache.invalidate(&user_id(250), &item));
 }
-
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
-}
-
-criterion_group!(name = benches; config = quick(); targets = bench_cache_mixed, bench_invalidate);
-criterion_main!(benches);

@@ -1,55 +1,37 @@
-//! Criterion bench for E12: HLR lookup/update and the wireless
-//! protocols.
+//! Microbench for E12: HLR lookup/update and the wireless protocols.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gupster_bench::microbench::{bench, suite};
 use gupster_netsim::wireless::Carrier;
 use gupster_netsim::Network;
 
-fn bench_hlr_ops(c: &mut Criterion) {
+fn main() {
+    suite("hlr");
     let mut net = Network::new(1);
     let mut carrier = Carrier::build(&mut net, "bench", 4);
     for i in 0..100_000 {
         carrier.hlr.provision(&format!("908-{i:07}"), "sub", false);
         carrier.hlr.location_update(&format!("908-{i:07}"), "vlr0.bench.com", "msc0.bench.com");
     }
-    c.bench_function("hlr_routing_lookup_100k_subs", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 7919) % 100_000;
-            carrier.hlr.lookup_routing(&format!("908-{i:07}")).unwrap()
-        });
+    let mut i = 0usize;
+    bench("hlr_routing_lookup_100k_subs", || {
+        i = (i + 7919) % 100_000;
+        carrier.hlr.lookup_routing(&format!("908-{i:07}")).unwrap()
     });
-    c.bench_function("hlr_location_update_100k_subs", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 7919) % 100_000;
-            carrier.hlr.location_update(&format!("908-{i:07}"), "vlr1.bench.com", "msc1.bench.com")
-        });
+    let mut i = 0usize;
+    bench("hlr_location_update_100k_subs", || {
+        i = (i + 7919) % 100_000;
+        carrier.hlr.location_update(&format!("908-{i:07}"), "vlr1.bench.com", "msc1.bench.com")
     });
-}
 
-fn bench_call_delivery(c: &mut Criterion) {
     let mut net = Network::new(1);
     let mut carrier = Carrier::build(&mut net, "bench", 4);
     for i in 0..1_000 {
         carrier.provision(&net, &format!("908-{i:04}"), "sub", false);
     }
     let origin = carrier.areas[1].1;
-    c.bench_function("call_delivery_warm_vlr", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i = (i + 13) % 1_000;
-            carrier.call_delivery(&net, origin, &format!("908-{i:04}")).unwrap()
-        });
+    let mut i = 0usize;
+    bench("call_delivery_warm_vlr", || {
+        i = (i + 13) % 1_000;
+        carrier.call_delivery(&net, origin, &format!("908-{i:04}")).unwrap()
     });
 }
-
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
-}
-
-criterion_group!(name = benches; config = quick(); targets = bench_hlr_ops, bench_call_delivery);
-criterion_main!(benches);

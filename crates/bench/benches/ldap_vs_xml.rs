@@ -1,43 +1,40 @@
-//! Criterion bench for E8: roaming-blob updates vs. targeted XML
-//! updates, and LDAP search vs. XPath selection.
+//! Microbench for E8: roaming-blob updates vs. targeted XML updates,
+//! and LDAP search vs. XPath selection.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gupster_bench::microbench::{bench, suite};
 use gupster_bench::workload::profile_with_contacts;
 use gupster_directory::{BlobKind, Directory, Dn, Entry, Filter, RoamingStore, Scope};
 use gupster_store::{DataStore, UpdateOp, XmlStore};
 use gupster_xpath::Path;
 
-fn bench_update_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("one_entry_update");
+fn main() {
+    suite("ldap_vs_xml");
     for n in [100usize, 1_000] {
         let doc = profile_with_contacts("alice", n);
         let blob = doc.child("address-book").unwrap().to_xml();
-        group.bench_with_input(BenchmarkId::new("ldap_blob", n), &n, |b, _| {
-            let mut store = RoamingStore::new("netscape");
-            store.create_user("alice").unwrap();
-            store.put_blob("alice", BlobKind::AddressBook, &blob).unwrap();
-            b.iter(|| {
-                store
-                    .update_within_blob("alice", BlobKind::AddressBook, |s| {
-                        s.replacen("Contact 1<", "Renamed<", 1)
-                    })
-                    .unwrap()
-            });
+
+        let mut store = RoamingStore::new("netscape");
+        store.create_user("alice").unwrap();
+        store.put_blob("alice", BlobKind::AddressBook, &blob).unwrap();
+        bench(&format!("one_entry_update/ldap_blob/{n}"), || {
+            store
+                .update_within_blob("alice", BlobKind::AddressBook, |s| {
+                    s.replacen("Contact 1<", "Renamed<", 1)
+                })
+                .unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("gupster_xml", n), &n, |b, _| {
-            let mut store = XmlStore::new("gup.yahoo.com");
-            store.put_profile(doc.clone()).unwrap();
-            let op = UpdateOp::SetText(
-                Path::parse("/user/address-book/item[@id='2']/name").unwrap(),
-                "Renamed".into(),
-            );
-            b.iter(|| store.update("alice", &op).unwrap());
+
+        let mut store = XmlStore::new("gup.yahoo.com");
+        store.put_profile(doc.clone()).unwrap();
+        let op = UpdateOp::SetText(
+            Path::parse("/user/address-book/item[@id='2']/name").unwrap(),
+            "Renamed".into(),
+        );
+        bench(&format!("one_entry_update/gupster_xml/{n}"), || {
+            store.update("alice", &op).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_search(c: &mut Criterion) {
     // LDAP subtree search vs. XPath selection over comparable data.
     let mut dir = Directory::new();
     dir.add(Entry::new(Dn::parse("o=x").unwrap(), &["organization"]).with("o", "x")).unwrap();
@@ -51,22 +48,12 @@ fn bench_search(c: &mut Criterion) {
         .unwrap();
     }
     let filter = Filter::parse("(telephoneNumber=908-555-0500)").unwrap();
-    c.bench_function("ldap_subtree_search_1k", |b| {
-        b.iter(|| dir.search(&Dn::parse("o=x").unwrap(), Scope::Subtree, &filter))
+    bench("ldap_subtree_search_1k", || {
+        dir.search(&Dn::parse("o=x").unwrap(), Scope::Subtree, &filter)
     });
 
     let mut store = XmlStore::new("s");
     store.put_profile(profile_with_contacts("alice", 1_000)).unwrap();
     let path = Path::parse("/user/address-book/item[phone='908-555-0500']").unwrap();
-    c.bench_function("xpath_select_1k", |b| b.iter(|| store.query(&path).unwrap()));
+    bench("xpath_select_1k", || store.query(&path).unwrap());
 }
-
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
-}
-
-criterion_group!(name = benches; config = quick(); targets = bench_update_paths, bench_search);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
-//! Criterion bench for E9: privacy-shield decisions and signed tokens.
+//! Microbench for E9: privacy-shield decisions and signed tokens.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gupster_bench::microbench::{bench, suite};
 use gupster_core::Signer;
 use gupster_policy::{Condition, Pdp, PolicyRepository, RequestContext, Rule, WeekTime};
 use gupster_xpath::Path;
@@ -31,43 +31,22 @@ fn repo_with(n: usize) -> PolicyRepository {
     repo
 }
 
-fn bench_decide(c: &mut Criterion) {
+fn main() {
+    suite("policy");
     let pdp = Pdp::new();
     let path = Path::parse("/user/presence").unwrap();
     let ctx = RequestContext::query("rick", "rel3", WeekTime::at(1, 10, 0));
-    let mut group = c.benchmark_group("pdp_decide");
     for n in [10usize, 100, 1_000, 10_000] {
         let repo = repo_with(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| pdp.decide(&repo, "alice", &path, &ctx))
-        });
+        bench(&format!("pdp_decide/{n}"), || pdp.decide(&repo, "alice", &path, &ctx));
     }
-    group.finish();
-}
 
-fn bench_condition_parse(c: &mut Criterion) {
-    c.bench_function("condition_parse", |b| {
-        b.iter(|| {
-            Condition::parse("relationship='co-worker' and time in Mon-Fri 09:00-18:00").unwrap()
-        })
+    bench("condition_parse", || {
+        Condition::parse("relationship='co-worker' and time in Mon-Fri 09:00-18:00").unwrap()
     });
-}
 
-fn bench_token(c: &mut Criterion) {
     let signer = Signer::new(b"bench-key", 30);
-    c.bench_function("token_sign", |b| {
-        b.iter(|| signer.sign("alice", "rick", vec!["/user/presence".to_string()], 1))
-    });
+    bench("token_sign", || signer.sign("alice", "rick", vec!["/user/presence".to_string()], 1));
     let token = signer.sign("alice", "rick", vec!["/user/presence".to_string()], 1);
-    c.bench_function("token_verify", |b| b.iter(|| signer.verify(&token, 1).unwrap()));
+    bench("token_verify", || signer.verify(&token, 1).unwrap());
 }
-
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
-}
-
-criterion_group!(name = benches; config = quick(); targets = bench_decide, bench_condition_parse, bench_token);
-criterion_main!(benches);

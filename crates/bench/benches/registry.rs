@@ -1,49 +1,30 @@
-//! Criterion bench for E7: registry lookup / register / referral
-//! pipeline throughput vs. population.
+//! Microbench for E7: registry lookup / register / referral pipeline
+//! throughput vs. population.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gupster_bench::microbench::{bench, suite};
 use gupster_bench::workload::{build_federation, user_id};
 use gupster_policy::{Purpose, WeekTime};
 use gupster_xpath::Path;
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("registry_lookup");
+fn main() {
+    suite("registry");
     for n_users in [1_000usize, 10_000, 100_000] {
         let mut f = build_federation(n_users, 8, 3);
         let u = user_id(n_users / 2);
         let req = Path::parse(&format!("/user[@id='{u}']/address-book")).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n_users), &n_users, |b, _| {
-            let mut now = 0u64;
-            b.iter(|| {
-                now += 1;
-                f.gupster
-                    .lookup(&u, &req, &u, Purpose::Query, WeekTime::at(0, 12, 0), now)
-                    .unwrap()
-            });
+        let mut now = 0u64;
+        bench(&format!("registry_lookup/{n_users}"), || {
+            now += 1;
+            f.gupster.lookup(&u, &req, &u, Purpose::Query, WeekTime::at(0, 12, 0), now).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_register(c: &mut Criterion) {
-    c.bench_function("registry_register_unregister", |b| {
-        let mut f = build_federation(1_000, 4, 1);
-        let u = user_id(1);
-        let path = Path::parse(&format!("/user[@id='{u}']/calendar")).unwrap();
-        let store = gupster_store::StoreId::new("gup.extra.com");
-        b.iter(|| {
-            f.gupster.register_component(&u, path.clone(), store.clone()).unwrap();
-            f.gupster.unregister_component(&u, &path, &store);
-        });
+    let mut f = build_federation(1_000, 4, 1);
+    let u = user_id(1);
+    let path = Path::parse(&format!("/user[@id='{u}']/calendar")).unwrap();
+    let store = gupster_store::StoreId::new("gup.extra.com");
+    bench("registry_register_unregister", || {
+        f.gupster.register_component(&u, path.clone(), store.clone()).unwrap();
+        f.gupster.unregister_component(&u, &path, &store);
     });
 }
-
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
-}
-
-criterion_group!(name = benches; config = quick(); targets = bench_lookup, bench_register);
-criterion_main!(benches);

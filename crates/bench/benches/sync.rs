@@ -1,6 +1,6 @@
-//! Criterion bench for E11: sync sessions and XML diff/merge.
+//! Microbench for E11: sync sessions and XML diff/merge.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gupster_bench::microbench::{bench, suite};
 use gupster_sync::{two_way_sync, ReconcilePolicy, Replica};
 use gupster_xml::{diff, merge, EditOp, Element, MergeKeys, NodePath};
 
@@ -17,53 +17,35 @@ fn book(n: usize) -> Element {
     b
 }
 
-fn bench_sync_one_edit(c: &mut Criterion) {
+fn main() {
+    suite("sync");
     let keys = MergeKeys::new().with_key("item", "id");
-    let mut group = c.benchmark_group("sync_one_edit");
     for n in [50usize, 500] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            let base = book(n);
-            let mut phone = Replica::new("phone", base.clone(), keys.clone());
-            let mut portal = Replica::new("portal", base, keys.clone());
-            two_way_sync(&mut phone, &mut portal, ReconcilePolicy::LastWriterWins).unwrap();
-            let mut i = 0u32;
-            b.iter(|| {
-                i += 1;
-                phone
-                    .edit(EditOp::SetText {
-                        path: NodePath::root().keyed("item", "id", "1").child("name", 0),
-                        text: format!("v{i}"),
-                    })
-                    .unwrap();
-                two_way_sync(&mut phone, &mut portal, ReconcilePolicy::LastWriterWins).unwrap()
-            });
+        let base = book(n);
+        let mut phone = Replica::new("phone", base.clone(), keys.clone());
+        let mut portal = Replica::new("portal", base, keys.clone());
+        two_way_sync(&mut phone, &mut portal, ReconcilePolicy::LastWriterWins).unwrap();
+        let mut i = 0u32;
+        bench(&format!("sync_one_edit/{n}"), || {
+            i += 1;
+            phone
+                .edit(EditOp::SetText {
+                    path: NodePath::root().keyed("item", "id", "1").child("name", 0),
+                    text: format!("v{i}"),
+                })
+                .unwrap();
+            two_way_sync(&mut phone, &mut portal, ReconcilePolicy::LastWriterWins).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_diff_merge(c: &mut Criterion) {
-    let keys = MergeKeys::new().with_key("item", "id");
     let a = book(200);
     let mut b_ = a.clone();
     b_.child_elements_mut().nth(5).unwrap().set_attr("edited", "yes");
-    c.bench_function("xml_diff_200_items", |b| b.iter(|| diff(&a, &b_, &keys)));
+    bench("xml_diff_200_items", || diff(&a, &b_, &keys));
     let half1 = book(100);
     let mut half2 = Element::new("address-book");
     for i in 100..200 {
         half2.push_child(Element::new("item").with_attr("id", i.to_string()));
     }
-    c.bench_function("xml_deep_union_200_items", |b| {
-        b.iter(|| merge(&half1, &half2, &keys).unwrap())
-    });
+    bench("xml_deep_union_200_items", || merge(&half1, &half2, &keys).unwrap());
 }
-
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
-}
-
-criterion_group!(name = benches; config = quick(); targets = bench_sync_one_edit, bench_diff_merge);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
-//! Criterion bench for E13: XPath parse, eval, containment and overlap.
+//! Microbench for E13: XPath parse, eval, containment and overlap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gupster_bench::microbench::{bench, suite};
 use gupster_schema::sample_profile;
 use gupster_xpath::{contains, may_overlap, Path};
 
@@ -16,58 +16,33 @@ fn chain(depth: usize, preds: usize) -> Path {
     Path::parse(&s).unwrap()
 }
 
-fn bench_parse(c: &mut Criterion) {
-    c.bench_function("xpath_parse_paper_expr", |b| {
-        b.iter(|| {
-            Path::parse("/user[@id='arnaud']/address-book/item[@type='personal']").unwrap()
-        });
+fn main() {
+    suite("xpath");
+    bench("xpath_parse_paper_expr", || {
+        Path::parse("/user[@id='arnaud']/address-book/item[@type='personal']").unwrap()
     });
-}
 
-fn bench_eval(c: &mut Criterion) {
     let doc = sample_profile("arnaud");
     let paths = [
         ("presence", Path::parse("/user/presence").unwrap()),
         ("pred", Path::parse("/user/address-book/item[@type='corporate']/name").unwrap()),
         ("descendant", Path::parse("//phone").unwrap()),
     ];
-    let mut group = c.benchmark_group("xpath_eval");
     for (name, p) in &paths {
-        group.bench_function(*name, |b| b.iter(|| p.select(&doc)));
+        bench(&format!("xpath_eval/{name}"), || p.select(&doc));
     }
-    group.finish();
-}
 
-fn bench_containment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("xpath_containment");
     for depth in [4usize, 8, 16, 32] {
         let p = chain(depth, 2);
         let q = chain(depth, 0);
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| {
-                assert!(contains(&p, &q));
-            })
+        bench(&format!("xpath_containment/{depth}"), || {
+            assert!(contains(&p, &q));
         });
     }
-    group.finish();
-}
 
-fn bench_overlap(c: &mut Criterion) {
     let a = Path::parse("/user[@id='a']/address-book/item[@type='personal']").unwrap();
-    let b_ = Path::parse("/user[@id='a']/address-book").unwrap();
-    c.bench_function("xpath_overlap_fig9", |b| {
-        b.iter(|| {
-            assert!(may_overlap(&a, &b_));
-        })
+    let b = Path::parse("/user[@id='a']/address-book").unwrap();
+    bench("xpath_overlap_fig9", || {
+        assert!(may_overlap(&a, &b));
     });
 }
-
-fn quick() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
-}
-
-criterion_group!(name = benches; config = quick(); targets = bench_parse, bench_eval, bench_containment, bench_overlap);
-criterion_main!(benches);

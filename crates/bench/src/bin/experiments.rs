@@ -3,19 +3,43 @@
 //! ```text
 //! cargo run --release -p gupster-bench --bin experiments -- all
 //! cargo run --release -p gupster-bench --bin experiments -- e5 e10
+//! cargo run --release -p gupster-bench --bin experiments -- --trace-out traces.jsonl e2 e5
 //! ```
+//!
+//! `--trace-out <path>` additionally writes every span recorded by the
+//! instrumented experiments (e2, e5, e14) to `path` as JSON lines; the
+//! printed tables are unchanged.
 
 use gupster_bench::experiments;
 
+fn usage() -> ! {
+    eprintln!("usage: experiments [--trace-out <path>] <e1..e15 | all>...");
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: experiments <e1..e14 | all>...");
-        std::process::exit(2);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut picks: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == "--trace-out" {
+            let Some(path) = raw.get(i + 1) else {
+                eprintln!("--trace-out needs a file argument");
+                usage();
+            };
+            experiments::set_trace_out(path.into());
+            i += 2;
+        } else {
+            picks.push(raw[i].clone());
+            i += 1;
+        }
     }
-    for a in &args {
+    if picks.is_empty() {
+        usage();
+    }
+    for a in &picks {
         if !experiments::run(a) {
-            eprintln!("unknown experiment '{a}' (expected e1..e14 or all)");
+            eprintln!("unknown experiment '{a}' (expected e1..e15 or all)");
             std::process::exit(2);
         }
     }

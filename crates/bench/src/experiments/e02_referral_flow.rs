@@ -1,11 +1,12 @@
 //! E2 — Figure 7 / §4.3: the end-to-end referral flow, with a latency
 //! breakdown per phase (register → lookup → direct fetch → merge).
 
-use gupster_core::{fetch_merge, Gupster, StorePool};
+use gupster_core::{fetch_merge_traced, Gupster, StorePool};
 use gupster_netsim::{Domain, Network, SimTime};
 use gupster_policy::{Purpose, WeekTime};
 use gupster_schema::gup_schema;
 use gupster_store::{DataStore, StoreId, XmlStore};
+use gupster_telemetry::stage;
 use gupster_xml::MergeKeys;
 use gupster_xpath::Path;
 
@@ -40,18 +41,34 @@ pub fn run() {
     let mut fetch_t = Vec::new();
     let mut totals = Vec::new();
 
+    let hub = gupster.telemetry();
     for trial in 0..TRIALS {
         let now = trial as u64;
+        let mut tracer = hub.tracer("e2.referral_flow");
+        net.begin_request(tracer.request().0);
         let out = gupster
-            .lookup("alice", &request, "alice", Purpose::Query, WeekTime::at(1, 10, 0), now)
+            .lookup_traced(
+                "alice",
+                &request,
+                "alice",
+                Purpose::Query,
+                WeekTime::at(1, 10, 0),
+                now,
+                &mut tracer,
+            )
             .expect("covered");
         let t_lookup =
             net.rpc(client, gupster_node, 96, out.referral.byte_size());
+        tracer.span(stage::NET_LOOKUP, t_lookup);
         let store = pool.get(&StoreId::new("gup.yahoo.com")).expect("added");
         let frag_bytes = store.result_bytes(&out.referral.entries[0].path);
         let t_fetch = net.rpc(client, yahoo_node, out.referral.token.byte_size() + 32, frag_bytes);
+        tracer.span(stage::NET_FETCH, t_fetch);
         let signer = gupster.signer();
-        let result = fetch_merge(&pool, &out.referral, &signer, now, &keys).expect("fetches");
+        let result =
+            fetch_merge_traced(&pool, &out.referral, &signer, now, &keys, &mut tracer)
+                .expect("fetches");
+        net.end_request();
         assert_eq!(result.len(), 1);
         lookup_t.push(t_lookup);
         fetch_t.push(t_fetch);
@@ -81,6 +98,12 @@ pub fn run() {
         "  paper check: call-delivery class budget (Req. 13, 'hundreds of milliseconds') holds = {}",
         tp < SimTime::millis(500)
     );
+    println!();
+    println!(
+        "{}",
+        hub.render_stage_table("E2 — per-stage latency, 200 traced referral requests")
+    );
+    super::dump_traces(&hub);
 }
 
 #[cfg(test)]

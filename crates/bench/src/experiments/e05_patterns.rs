@@ -3,6 +3,7 @@
 //! thin (slow access link) and a thick client, across split fan-outs.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gupster_core::patterns::{PatternExecutor, QueryPattern};
 use gupster_core::{Gupster, StorePool};
@@ -10,6 +11,7 @@ use gupster_netsim::{Domain, LatencyModel, Network, NodeId, SimTime};
 use gupster_policy::WeekTime;
 use gupster_schema::gup_schema;
 use gupster_store::{StoreId, XmlStore};
+use gupster_telemetry::TelemetryHub;
 use gupster_xml::{Element, MergeKeys};
 use gupster_xpath::Path;
 
@@ -90,12 +92,23 @@ pub fn run() {
     let keys = MergeKeys::new().with_key("item", "id");
     let request = Path::parse("/user[@id='alice']/address-book").expect("static");
     let mut rows = Vec::new();
+    // One hub per pattern, shared across every world, so the stage
+    // tables below aggregate all runs of that pattern.
+    let referral_hub = Arc::new(TelemetryHub::new());
+    let chaining_hub = Arc::new(TelemetryHub::new());
+    let recruiting_hub = Arc::new(TelemetryHub::new());
     for thin in [false, true] {
         for k in [2usize, 4, 8] {
             for pattern in
                 [QueryPattern::Referral, QueryPattern::Chaining, QueryPattern::Recruiting]
             {
                 let mut w = build(k, 200, thin);
+                let hub = match pattern {
+                    QueryPattern::Referral => &referral_hub,
+                    QueryPattern::Chaining => &chaining_hub,
+                    QueryPattern::Recruiting => &recruiting_hub,
+                };
+                w.gupster.set_telemetry(Arc::clone(hub));
                 let exec = PatternExecutor {
                     net: &w.net,
                     client: w.client,
@@ -133,6 +146,18 @@ pub fn run() {
         &rows,
     );
     println!("  paper check: referral keeps GUPster data-free; chaining/recruiting suit thin clients.");
+    for (name, hub) in [
+        ("referral", &referral_hub),
+        ("chaining", &chaining_hub),
+        ("recruiting", &recruiting_hub),
+    ] {
+        println!();
+        println!(
+            "{}",
+            hub.render_stage_table(&format!("E5 — {name} per-stage latency (all runs)"))
+        );
+        super::dump_traces(hub);
+    }
 }
 
 #[cfg(test)]

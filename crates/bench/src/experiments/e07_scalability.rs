@@ -12,7 +12,7 @@ use gupster_xpath::Path;
 
 use crate::table::{f2, print_table};
 use crate::workload::{build_federation, rng, user_id, Zipf};
-use rand::Rng;
+use gupster_rng::Rng;
 
 /// Runs the experiment.
 pub fn run() {

@@ -10,7 +10,7 @@ use gupster_xpath::Path;
 
 use crate::table::print_table;
 use crate::workload::rng;
-use rand::Rng;
+use gupster_rng::Rng;
 
 const COMPONENTS: [&str; 8] = [
     "/user/presence",

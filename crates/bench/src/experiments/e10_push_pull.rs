@@ -14,7 +14,7 @@ use gupster_xpath::Path;
 
 use crate::table::print_table;
 use crate::workload::rng;
-use rand::Rng;
+use gupster_rng::Rng;
 
 struct SimResult {
     shield_checks: u64,

@@ -8,7 +8,7 @@ use gupster_xml::{EditOp, Element, MergeKeys, NodePath};
 
 use crate::table::{bytes, f2, print_table};
 use crate::workload::rng;
-use rand::Rng;
+use gupster_rng::Rng;
 
 fn base_book(entries: usize) -> Element {
     let mut book = Element::new("address-book");

@@ -9,7 +9,7 @@ use gupster_netsim::{Network, SimTime};
 
 use crate::table::{pct, print_table};
 use crate::workload::rng;
-use rand::Rng;
+use gupster_rng::Rng;
 
 /// Runs the experiment.
 pub fn run() {

@@ -2,14 +2,18 @@
 //! skew (hit ratios, zero-staleness via invalidation-on-update) and
 //! replicated-store routing to the closest replica.
 
-use gupster_core::cache::ResultCache;
+use gupster_core::cache::{CachedClient, ResultCache};
+use gupster_core::{Gupster, StorePool};
 use gupster_netsim::{Domain, LatencyModel, Network, SimTime};
-use gupster_xml::Element;
+use gupster_policy::WeekTime;
+use gupster_schema::gup_schema;
+use gupster_store::{DataStore, StoreId, XmlStore};
+use gupster_xml::{Element, MergeKeys};
 use gupster_xpath::Path;
 
 use crate::table::{pct, print_table};
 use crate::workload::{rng, user_id, Zipf};
-use rand::Rng;
+use gupster_rng::Rng;
 
 /// Runs the experiment.
 pub fn run() {
@@ -96,6 +100,67 @@ pub fn run() {
             vec!["route to farthest (UK)".into(), t_worst.to_string()],
         ],
     );
+
+    // E14c — the caching front end over the *full* pipeline (shield
+    // check, referral, fetch, merge), observed through the telemetry
+    // hub: hit/miss counters plus per-stage latency of the miss path.
+    const CC_USERS: usize = 50;
+    const CC_OPS: usize = 2_000;
+    let mut gupster = Gupster::new(gup_schema(), b"e14");
+    let mut store = XmlStore::new("gup.spcs.com");
+    for u in 0..CC_USERS {
+        let user = user_id(u);
+        store
+            .put_profile(
+                Element::new("user")
+                    .with_attr("id", user.clone())
+                    .with_child(Element::new("presence").with_text("online")),
+            )
+            .expect("has id");
+        gupster
+            .register_component(
+                &user,
+                Path::parse(&format!("/user[@id='{user}']/presence")).expect("static"),
+                StoreId::new("gup.spcs.com"),
+            )
+            .expect("valid");
+    }
+    store.drain_events();
+    let mut pool = StorePool::new();
+    pool.add(Box::new(store));
+    let mut client = CachedClient::new(200, 3_600);
+    let keys = MergeKeys::new();
+    let zipf = Zipf::new(CC_USERS, 0.9);
+    let mut r = rng(1414);
+    for op in 0..CC_OPS {
+        let user = user_id(zipf.sample(&mut r));
+        let req = Path::parse(&format!("/user[@id='{user}']/presence")).expect("static");
+        client
+            .fetch(&mut gupster, &pool, &user, &req, &user, WeekTime::at(1, 10, 0), op as u64, &keys)
+            .expect("covered");
+    }
+    let hub = gupster.telemetry();
+    let c = hub.counter_snapshot();
+    let hit_ratio = c.cache_hits as f64 / (c.cache_hits + c.cache_misses) as f64;
+    print_table(
+        "E14c — caching front end, full pipeline (50 users, Zipf 0.9, 2k fetches)",
+        &["counter", "value"],
+        &[
+            vec!["cache hits".into(), c.cache_hits.to_string()],
+            vec!["cache misses".into(), c.cache_misses.to_string()],
+            vec!["hit ratio".into(), pct(hit_ratio)],
+            vec!["registry lookups".into(), c.lookups.to_string()],
+            vec!["referrals issued".into(), c.referrals.to_string()],
+            vec!["policy denials".into(), c.policy_denials.to_string()],
+            vec!["signature verifications".into(), c.signature_verifications.to_string()],
+        ],
+    );
+    println!();
+    println!(
+        "{}",
+        hub.render_stage_table("E14c — per-stage latency through the caching front end")
+    );
+    super::dump_traces(&hub);
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use gupster_xpath::Path;
 
 use crate::table::{pct, print_table};
 use crate::workload::rng;
-use rand::Rng;
+use gupster_rng::Rng;
 
 /// Runs the experiment.
 pub fn run() {

@@ -1,6 +1,12 @@
 //! The per-experiment harness (DESIGN.md §4). Each `eN::run()` prints
 //! the tables for that experiment; `run_all` runs the suite in order.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use gupster_telemetry::TelemetryHub;
+
 pub mod e01_placement;
 pub mod e02_referral_flow;
 pub mod e03_split_book;
@@ -16,6 +22,42 @@ pub mod e12_hlr;
 pub mod e13_containment;
 pub mod e14_cache;
 pub mod e15_reliability;
+
+static TRACE_OUT: OnceLock<PathBuf> = OnceLock::new();
+/// Request-id offset for the next dumped hub, so traces from several
+/// independent hubs never collide in one file.
+static TRACE_BASE: AtomicU64 = AtomicU64::new(0);
+
+/// Routes span traces from instrumented experiments to `path` as JSON
+/// lines (the `--trace-out` flag). First call wins.
+pub fn set_trace_out(path: PathBuf) {
+    let _ = std::fs::write(&path, ""); // start fresh per run
+    let _ = TRACE_OUT.set(path);
+}
+
+/// Appends every finished span of `hub` to the `--trace-out` file.
+/// No-op when tracing was not requested. Request ids are shifted by a
+/// per-hub base so each dumped request stays a single rooted tree even
+/// when several experiments (each with its own hub) write to one file.
+pub fn dump_traces(hub: &TelemetryHub) {
+    let Some(path) = TRACE_OUT.get() else { return };
+    let mut spans = hub.spans();
+    if spans.is_empty() {
+        return;
+    }
+    let width = spans.iter().map(|s| s.request.0).max().unwrap_or(0) + 1;
+    let base = TRACE_BASE.fetch_add(width, Ordering::Relaxed);
+    for s in &mut spans {
+        s.request.0 += base;
+    }
+    let text = gupster_telemetry::export::export(&spans);
+    use std::io::Write;
+    let file = std::fs::OpenOptions::new().create(true).append(true).open(path);
+    match file.and_then(|mut f| f.write_all(text.as_bytes())) {
+        Ok(()) => {}
+        Err(e) => eprintln!("trace-out: cannot write {}: {e}", path.display()),
+    }
+}
 
 /// Runs one experiment by id (`e1`…`e15`), or `all`.
 pub fn run(which: &str) -> bool {

@@ -10,5 +10,6 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod table;
 pub mod workload;

@@ -1,8 +1,7 @@
 //! Workload generation: federations of users, stores and coverage, plus
 //! access-skew samplers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gupster_rng::{Rng, SeedableRng, StdRng};
 
 use gupster_core::{Gupster, StorePool};
 use gupster_schema::{gup_schema, ProfileBuilder};

@@ -1,0 +1,38 @@
+//! The `--trace-out` contract: the instrumented experiments write valid
+//! JSON-lines where every span carries a request id and the spans of
+//! each request form a single rooted tree.
+
+use std::collections::BTreeMap;
+
+use gupster_bench::experiments;
+use gupster_telemetry::{export, single_rooted_tree, Span};
+
+#[test]
+fn traced_experiments_write_rooted_trees() {
+    let path = std::env::temp_dir().join(format!("gupster-traces-{}.jsonl", std::process::id()));
+    experiments::set_trace_out(path.clone());
+    // The three instrumented experiments, in one process so they share
+    // the sink (set_trace_out is first-call-wins).
+    assert!(experiments::run("e2"));
+    assert!(experiments::run("e5"));
+    assert!(experiments::run("e14"));
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let spans = export::parse(&text).expect("every line parses");
+    assert!(!spans.is_empty(), "instrumented experiments must emit spans");
+
+    let mut by_request: BTreeMap<u64, Vec<Span>> = BTreeMap::new();
+    for s in spans {
+        by_request.entry(s.request.0).or_default().push(s);
+    }
+    // e2 alone contributes 200 requests; e5 and e14 add more.
+    assert!(by_request.len() > 200, "expected many traced requests");
+    for (request, spans) in &by_request {
+        assert!(
+            single_rooted_tree(spans),
+            "request {request} is not a single rooted tree ({} spans)",
+            spans.len()
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -169,6 +169,12 @@ impl CachedClient {
         now: u64,
         keys: &gupster_xml::MergeKeys,
     ) -> Result<Vec<Element>, crate::error::GupsterError> {
+        use std::sync::atomic::Ordering;
+
+        use gupster_telemetry::stage;
+
+        let hub = gupster.telemetry();
+        let mut tracer = hub.tracer("cache.fetch");
         let cache_user = Self::key_user(owner, requester);
         if let Some(hit) = self.cache.get(&cache_user, request) {
             let fresh = self
@@ -176,20 +182,32 @@ impl CachedClient {
                 .get(&(cache_user.clone(), request.to_string()))
                 .is_some_and(|&exp| now < exp);
             if fresh {
+                hub.counters().cache_hits.fetch_add(1, Ordering::Relaxed);
+                tracer.mark(stage::CACHE_HIT);
                 return Ok(hit);
             }
             self.cache.invalidate(&cache_user, request);
         }
-        let out = gupster.lookup(
+        hub.counters().cache_misses.fetch_add(1, Ordering::Relaxed);
+        tracer.mark(stage::CACHE_MISS);
+        let out = gupster.lookup_traced(
             owner,
             request,
             requester,
             gupster_policy::Purpose::Cache,
             time,
             now,
+            &mut tracer,
         )?;
         let signer = gupster.signer();
-        let result = crate::client::fetch_merge(pool, &out.referral, &signer, now, keys)?;
+        let result = crate::client::fetch_merge_traced(
+            pool,
+            &out.referral,
+            &signer,
+            now,
+            keys,
+            &mut tracer,
+        )?;
         self.cache.put(&cache_user, request, result.clone());
         self.expiry.insert((cache_user, request.to_string()), now + self.ttl);
         Ok(result)
@@ -347,6 +365,25 @@ mod tests {
             // …but mallory must still be refused, not served rick's copy.
             let err = cc.fetch(&mut g, &pool, "alice", &req, "mallory", t, 1, &keys);
             assert!(err.is_err());
+        }
+
+        #[test]
+        fn cache_hits_and_misses_reach_the_hub() {
+            let (mut g, pool) = world();
+            let mut cc = CachedClient::new(16, 60);
+            let keys = MergeKeys::new();
+            let req = p("/user[@id='alice']/presence");
+            let t = WeekTime::at(0, 10, 0);
+            cc.fetch(&mut g, &pool, "alice", &req, "alice", t, 0, &keys).unwrap();
+            cc.fetch(&mut g, &pool, "alice", &req, "alice", t, 1, &keys).unwrap();
+            let c = g.telemetry().counter_snapshot();
+            assert_eq!(c.cache_misses, 1);
+            assert_eq!(c.cache_hits, 1);
+            // The miss ran the full traced pipeline, including a store
+            // token verification.
+            assert_eq!(c.signature_verifications, 1);
+            assert!(g.telemetry().stage_stats("cache.hit").is_some());
+            assert!(g.telemetry().stage_stats("cache.miss").is_some());
         }
 
         #[test]

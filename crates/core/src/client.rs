@@ -4,13 +4,28 @@
 //! GUP data stores").
 
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 
+use gupster_netsim::SimTime;
 use gupster_store::{DataStore, StoreError, StoreId, UpdateOp};
+use gupster_telemetry::{stage, Tracer};
 use gupster_xml::{merge, Element, MergeKeys};
 
 use crate::error::GupsterError;
 use crate::referral::Referral;
 use crate::token::Signer;
+
+/// Synthetic per-fragment fetch cost: ~50µs of store work plus ~10µs
+/// per KB of fragment serialized (matches the merge throughput model in
+/// [`crate::patterns`]).
+fn fetch_cost(bytes: usize) -> SimTime {
+    SimTime::micros(50 + (bytes as u64).div_ceil(1024) * 10)
+}
+
+/// Synthetic deep-union cost: ~100 MB/s ⇒ 10µs per KB.
+fn merge_compute_cost(bytes: usize) -> SimTime {
+    SimTime::micros((bytes as u64).div_ceil(1024) * 10)
+}
 
 /// The set of live data stores, keyed by store id. In deployment these
 /// are remote machines; here they are trait objects the harness owns.
@@ -94,12 +109,50 @@ pub fn fetch_merge(
     now: u64,
     keys: &MergeKeys,
 ) -> Result<Vec<Element>, GupsterError> {
+    fetch_merge_inner(pool, referral, store_signer, now, keys, None)
+}
+
+/// [`fetch_merge`] nested under a caller-owned trace: records a
+/// `fetch.merge` span with `token.verify` / per-fragment `store.fetch` /
+/// `xml.merge` children, and bumps the signature-verification counter.
+pub fn fetch_merge_traced(
+    pool: &StorePool,
+    referral: &Referral,
+    store_signer: &Signer,
+    now: u64,
+    keys: &MergeKeys,
+    tracer: &mut Tracer,
+) -> Result<Vec<Element>, GupsterError> {
+    tracer.enter(stage::FETCH_MERGE);
+    let out = fetch_merge_inner(pool, referral, store_signer, now, keys, Some(tracer));
+    tracer.exit();
+    out
+}
+
+fn fetch_merge_inner(
+    pool: &StorePool,
+    referral: &Referral,
+    store_signer: &Signer,
+    now: u64,
+    keys: &MergeKeys,
+    mut tracer: Option<&mut Tracer>,
+) -> Result<Vec<Element>, GupsterError> {
     // Every store checks the token before answering (§5.3).
+    if let Some(t) = tracer.as_deref_mut() {
+        t.hub().counters().signature_verifications.fetch_add(1, Ordering::Relaxed);
+        t.span(stage::TOKEN_VERIFY, SimTime::micros(15));
+    }
     store_signer
         .verify(&referral.token, now)
         .map_err(|e| GupsterError::Token(e.to_string()))?;
 
     let mut fragments: Vec<Element> = Vec::new();
+    let record_fetch = |tracer: &mut Option<&mut Tracer>, got: &[Element]| {
+        if let Some(t) = tracer.as_deref_mut() {
+            let bytes: usize = got.iter().map(Element::byte_size).sum();
+            t.span(stage::STORE_FETCH, fetch_cost(bytes));
+        }
+    };
     if referral.merge_required {
         // Every fragment source must answer (there is no alternative
         // holding the same fragment unless it was listed as a choice).
@@ -109,6 +162,7 @@ pub fn fetch_merge(
             })?;
             let got =
                 store.query(&entry.path).map_err(|e| GupsterError::Store(e.to_string()))?;
+            record_fetch(&mut tracer, &got);
             fragments.extend(got);
         }
     } else {
@@ -125,6 +179,7 @@ pub fn fetch_merge(
                 }
                 Some(store) => match store.query(&entry.path) {
                     Ok(got) => {
+                        record_fetch(&mut tracer, &got);
                         fragments.extend(got);
                         served = true;
                         break;
@@ -140,6 +195,10 @@ pub fn fetch_merge(
     }
 
     // Merge fragments denoting the same logical node.
+    if let Some(t) = tracer {
+        let bytes: usize = fragments.iter().map(Element::byte_size).sum();
+        t.span(stage::XML_MERGE, merge_compute_cost(bytes));
+    }
     let mut out: Vec<Element> = Vec::new();
     'next: for frag in fragments {
         for existing in &mut out {

@@ -39,7 +39,7 @@ mod sha256;
 pub mod subs;
 mod token;
 
-pub use client::{fetch_merge, StorePool};
+pub use client::{fetch_merge, fetch_merge_traced, StorePool};
 pub use constellation::Constellation;
 pub use coverage::{CoverageMap, CoverageMatch};
 pub use provenance::{Disclosure, ProvenanceLog};

@@ -15,10 +15,11 @@ use std::collections::HashMap;
 use gupster_netsim::{Journey, Network, NodeId, SimTime};
 use gupster_policy::{Purpose, WeekTime};
 use gupster_store::StoreId;
+use gupster_telemetry::{stage, RequestId, Tracer};
 use gupster_xml::{Element, MergeKeys};
 use gupster_xpath::Path;
 
-use crate::client::{fetch_merge, StorePool};
+use crate::client::{fetch_merge_traced, StorePool};
 use crate::error::GupsterError;
 use crate::registry::Gupster;
 
@@ -32,6 +33,19 @@ pub enum QueryPattern {
     /// The request migrates to a capable data store, which fetches the
     /// other fragments, merges, and answers the client directly.
     Recruiting,
+}
+
+impl QueryPattern {
+    /// The stage label of this pattern's root span — the three trees
+    /// are shaped identically so experiment E5 can compare them per
+    /// stage.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            QueryPattern::Referral => "pattern.referral",
+            QueryPattern::Chaining => "pattern.chaining",
+            QueryPattern::Recruiting => "pattern.recruiting",
+        }
+    }
 }
 
 /// The measured execution of one pattern.
@@ -49,6 +63,10 @@ pub struct PatternRun {
     pub gupster_bytes: usize,
     /// Total one-way messages.
     pub messages: u64,
+    /// The traced request id — the network's per-request hop list
+    /// ([`gupster_netsim::Metrics::hops_of`]) and the trace export are
+    /// both keyed by it.
+    pub request: RequestId,
 }
 
 /// Executes query patterns over a simulated network.
@@ -78,6 +96,12 @@ impl<'a> PatternExecutor<'a> {
     }
 
     /// Runs one pattern end to end.
+    ///
+    /// The run is traced as one request: a `pattern.*` root span with
+    /// the registry pipeline, the network legs (`net.lookup`,
+    /// `net.fetch`, `net.return`) and the fetch/merge stages as
+    /// children, and every simulated message tagged with the request id
+    /// so the network's per-request hop list lines up with the trace.
     #[allow(clippy::too_many_arguments)]
     pub fn execute(
         &self,
@@ -91,12 +115,38 @@ impl<'a> PatternExecutor<'a> {
         now: u64,
         keys: &MergeKeys,
     ) -> Result<PatternRun, GupsterError> {
+        let hub = gupster.telemetry();
+        let mut tracer = hub.tracer(pattern.stage());
+        self.net.begin_request(tracer.request().0);
+        let run = self.run_pattern(
+            pattern, gupster, pool, owner, request, requester, time, now, keys, &mut tracer,
+        );
+        self.net.end_request();
+        run
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_pattern(
+        &self,
+        pattern: QueryPattern,
+        gupster: &mut Gupster,
+        pool: &StorePool,
+        owner: &str,
+        request: &Path,
+        requester: &str,
+        time: WeekTime,
+        now: u64,
+        keys: &MergeKeys,
+        tracer: &mut Tracer,
+    ) -> Result<PatternRun, GupsterError> {
         let m0 = self.net.metrics();
         let mut journey = Journey::start();
+        let leg = |journey: &Journey, t0: SimTime| SimTime(journey.elapsed().0 - t0.0);
 
         // Client → GUPster: the lookup (all patterns start here).
         let request_bytes = request.to_string().len() + 64;
-        let out = gupster.lookup(owner, request, requester, Purpose::Query, time, now)?;
+        let out =
+            gupster.lookup_traced(owner, request, requester, Purpose::Query, time, now, tracer)?;
         let referral = &out.referral;
         let signer = gupster.signer();
 
@@ -113,35 +163,46 @@ impl<'a> PatternExecutor<'a> {
             frag_bytes.push((self.store_node(&e.store)?, store.result_bytes(&e.path)));
         }
         let total_frag_bytes: usize = frag_bytes.iter().map(|(_, b)| b).sum();
-        let result = fetch_merge(pool, referral, &signer, now, keys)?;
-        let result_bytes: usize = result.iter().map(Element::byte_size).sum();
 
-        let (client_bytes, gupster_bytes) = match pattern {
+        let (result, client_bytes, gupster_bytes) = match pattern {
             QueryPattern::Referral => {
                 // Lookup RPC returns the referral…
+                let t0 = journey.elapsed();
                 journey.rpc(self.net, self.client, self.gupster_node, request_bytes, referral.byte_size());
+                tracer.span(stage::NET_LOOKUP, leg(&journey, t0));
                 // …then the client fetches all fragments in parallel…
                 let calls: Vec<(NodeId, usize, usize)> = frag_bytes
                     .iter()
                     .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
                     .collect();
+                let t0 = journey.elapsed();
                 journey.parallel_rpcs(self.net, self.client, &calls);
+                tracer.span(stage::NET_FETCH, leg(&journey, t0));
                 // …and merges locally.
+                let result = fetch_merge_traced(pool, referral, &signer, now, keys, tracer)?;
                 journey.compute(merge_cost(total_frag_bytes));
-                (total_frag_bytes, 0)
+                (result, total_frag_bytes, 0)
             }
             QueryPattern::Chaining => {
                 // Client sends the request; GUPster fans out, merges,
                 // returns the result.
+                let t0 = journey.elapsed();
                 journey.send(self.net, self.client, self.gupster_node, request_bytes);
+                tracer.span(stage::NET_LOOKUP, leg(&journey, t0));
                 let calls: Vec<(NodeId, usize, usize)> = frag_bytes
                     .iter()
                     .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
                     .collect();
+                let t0 = journey.elapsed();
                 journey.parallel_rpcs(self.net, self.gupster_node, &calls);
+                tracer.span(stage::NET_FETCH, leg(&journey, t0));
+                let result = fetch_merge_traced(pool, referral, &signer, now, keys, tracer)?;
                 journey.compute(merge_cost(total_frag_bytes));
+                let result_bytes: usize = result.iter().map(Element::byte_size).sum();
+                let t0 = journey.elapsed();
                 journey.send(self.net, self.gupster_node, self.client, result_bytes);
-                (result_bytes, total_frag_bytes)
+                tracer.span(stage::NET_RETURN, leg(&journey, t0));
+                (result, result_bytes, total_frag_bytes)
             }
             QueryPattern::Recruiting => {
                 // Pick the first capable store as the executor; the
@@ -156,18 +217,26 @@ impl<'a> PatternExecutor<'a> {
                     .map(|e| e.store.clone())
                     .unwrap_or_else(|| entries[0].store.clone());
                 let exec_node = self.store_node(&executor)?;
+                let t0 = journey.elapsed();
                 journey.send(self.net, self.client, self.gupster_node, request_bytes);
                 journey.send(self.net, self.gupster_node, exec_node, referral.byte_size());
+                tracer.span(stage::NET_LOOKUP, leg(&journey, t0));
                 // Executor fetches the *other* fragments in parallel.
                 let calls: Vec<(NodeId, usize, usize)> = frag_bytes
                     .iter()
                     .filter(|(node, _)| *node != exec_node)
                     .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
                     .collect();
+                let t0 = journey.elapsed();
                 journey.parallel_rpcs(self.net, exec_node, &calls);
+                tracer.span(stage::NET_FETCH, leg(&journey, t0));
+                let result = fetch_merge_traced(pool, referral, &signer, now, keys, tracer)?;
                 journey.compute(merge_cost(total_frag_bytes));
+                let result_bytes: usize = result.iter().map(Element::byte_size).sum();
+                let t0 = journey.elapsed();
                 journey.send(self.net, exec_node, self.client, result_bytes);
-                (result_bytes, 0)
+                tracer.span(stage::NET_RETURN, leg(&journey, t0));
+                (result, result_bytes, 0)
             }
         };
 
@@ -178,6 +247,7 @@ impl<'a> PatternExecutor<'a> {
             client_bytes,
             gupster_bytes,
             messages: m1.messages - m0.messages,
+            request: tracer.request(),
         })
     }
 }
@@ -318,6 +388,49 @@ mod tests {
         assert_eq!(c.gupster_bytes, 0);
         assert!(c.wall > SimTime::ZERO);
         assert!(c.messages >= 4);
+    }
+
+    #[test]
+    fn every_pattern_yields_one_rooted_trace_with_hops() {
+        let mut w = world();
+        for pattern in
+            [QueryPattern::Referral, QueryPattern::Chaining, QueryPattern::Recruiting]
+        {
+            let run = {
+                let exec = PatternExecutor {
+                    net: &w.net,
+                    client: w.client,
+                    gupster_node: w.gupster_node,
+                    store_nodes: w.nodes.clone(),
+                };
+                exec.execute(
+                    pattern,
+                    &mut w.gupster,
+                    &w.pool,
+                    "arnaud",
+                    &p("/user[@id='arnaud']/address-book"),
+                    "arnaud",
+                    WeekTime::at(0, 12, 0),
+                    100,
+                    &MergeKeys::new().with_key("item", "id"),
+                )
+                .unwrap()
+            };
+            let hub = w.gupster.telemetry();
+            let spans: Vec<_> =
+                hub.spans().into_iter().filter(|s| s.request == run.request).collect();
+            assert!(
+                gupster_telemetry::single_rooted_tree(&spans),
+                "{pattern:?}: {spans:?}"
+            );
+            assert_eq!(spans[0].stage, pattern.stage());
+            for s in ["registry.lookup", "token.verify", "store.fetch", "xml.merge", "net.lookup", "net.fetch"] {
+                assert!(spans.iter().any(|x| x.stage == s), "{pattern:?} missing {s}");
+            }
+            // Every simulated message of the run is attributed to it.
+            let hops = w.net.with_metrics(|m| m.hops_of(run.request.0).len() as u64);
+            assert_eq!(hops, run.messages, "{pattern:?}");
+        }
     }
 
     #[test]

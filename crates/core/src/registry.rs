@@ -1,10 +1,14 @@
 //! The GUPster server: registration, lookup, rewriting, referrals.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
+use gupster_netsim::SimTime;
 use gupster_policy::{pep, Pap, Pdp, Purpose, RequestContext, WeekTime};
 use gupster_schema::Schema;
 use gupster_store::StoreId;
+use gupster_telemetry::{stage, TelemetryHub, Tracer};
 use gupster_xpath::Path;
 
 use crate::coverage::CoverageMap;
@@ -84,6 +88,7 @@ pub struct Gupster {
     pub stats: RegistryStats,
     /// The disclosure audit trail (§7's provenance challenge).
     pub provenance: ProvenanceLog,
+    telemetry: Arc<TelemetryHub>,
 }
 
 impl Gupster {
@@ -98,12 +103,25 @@ impl Gupster {
             relationships: HashMap::new(),
             stats: RegistryStats::default(),
             provenance: ProvenanceLog::with_retention(100_000),
+            telemetry: Arc::new(TelemetryHub::new()),
         }
     }
 
     /// A clone of the signer — data stores hold this to verify tokens.
     pub fn signer(&self) -> Signer {
         self.signer.clone()
+    }
+
+    /// The telemetry hub this server reports to. Experiment harnesses
+    /// read stage histograms, counters and traces from here.
+    pub fn telemetry(&self) -> Arc<TelemetryHub> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// Replaces the telemetry hub — lets a harness share one hub across
+    /// several servers (e.g. a mirror constellation).
+    pub fn set_telemetry(&mut self, hub: Arc<TelemetryHub>) {
+        self.telemetry = hub;
     }
 
     /// Registers a data store as holding `path` for `user` — the
@@ -199,6 +217,10 @@ impl Gupster {
 
     /// The lookup pipeline of §4.3/§5.3: schema filter → privacy shield
     /// (rewrite) → coverage match → signed referral.
+    ///
+    /// Each call is traced as its own request: a `registry.lookup` root
+    /// span with `policy.decide` / `query.rewrite` / `coverage.match` /
+    /// `token.sign` children feeding the hub's per-stage histograms.
     pub fn lookup(
         &mut self,
         owner: &str,
@@ -208,7 +230,46 @@ impl Gupster {
         time: WeekTime,
         now: u64,
     ) -> Result<LookupOutcome, GupsterError> {
+        let hub = Arc::clone(&self.telemetry);
+        let mut tracer = hub.tracer(stage::REGISTRY_LOOKUP);
+        self.lookup_pipeline(owner, request, requester, purpose, time, now, &mut tracer)
+    }
+
+    /// [`Gupster::lookup`] nested under a caller-owned trace — pattern
+    /// executors use this so registry stages appear inside the same
+    /// per-request span tree as network hops and store fetches.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lookup_traced(
+        &mut self,
+        owner: &str,
+        request: &Path,
+        requester: &str,
+        purpose: Purpose,
+        time: WeekTime,
+        now: u64,
+        tracer: &mut Tracer,
+    ) -> Result<LookupOutcome, GupsterError> {
+        tracer.enter(stage::REGISTRY_LOOKUP);
+        let out = self.lookup_pipeline(owner, request, requester, purpose, time, now, tracer);
+        tracer.exit();
+        out
+    }
+
+    /// The pipeline body; the caller owns the `registry.lookup` span
+    /// (either the tracer's root or an entered child).
+    #[allow(clippy::too_many_arguments)]
+    fn lookup_pipeline(
+        &mut self,
+        owner: &str,
+        request: &Path,
+        requester: &str,
+        purpose: Purpose,
+        time: WeekTime,
+        now: u64,
+        tracer: &mut Tracer,
+    ) -> Result<LookupOutcome, GupsterError> {
         self.stats.lookups += 1;
+        self.telemetry.counters().lookups.fetch_add(1, Ordering::Relaxed);
 
         // 1. Spurious-query filter.
         if !self.schema.admits_path(request) {
@@ -222,12 +283,18 @@ impl Gupster {
             return Err(GupsterError::UnknownUser(owner.to_string()));
         };
 
-        // 3. Privacy shield: decide and rewrite.
+        // 3. Privacy shield: decide and rewrite. Charged per rule the
+        // PDP examined (~2µs each: condition eval + overlap test).
         let ctx = self.context(owner, requester, purpose, time);
-        let permitted = match pep::enforce(&self.pdp, &self.pap.repository, owner, request, &ctx)
-        {
+        tracer.enter(stage::POLICY_DECIDE);
+        let (enforcement, cost) =
+            pep::enforce_with_cost(&self.pdp, &self.pap.repository, owner, request, &ctx);
+        tracer.charge(SimTime::micros(1 + 2 * cost.rules_considered));
+        tracer.exit();
+        let permitted = match enforcement {
             pep::Enforcement::Refused => {
                 self.stats.denied += 1;
+                self.telemetry.counters().policy_denials.fetch_add(1, Ordering::Relaxed);
                 return Err(GupsterError::AccessDenied {
                     owner: owner.to_string(),
                     requester: requester.to_string(),
@@ -237,14 +304,20 @@ impl Gupster {
         };
         let narrowed = permitted != vec![request.clone()];
 
-        // 4. Coverage match per permitted path.
+        // 4a. Rewrite: policy scopes omit the user-id predicate;
+        // requests to the stores must carry it so multi-tenant stores
+        // answer for the right user.
+        tracer.enter(stage::QUERY_REWRITE);
+        let rewritten: Vec<Path> = permitted.iter().map(|p| ensure_user_id(p, owner)).collect();
+        tracer.charge(SimTime::micros(rewritten.len() as u64));
+        tracer.exit();
+
+        // 4b. Coverage match per permitted path (~1µs per registered
+        // entry scanned per path).
+        tracer.enter(stage::COVERAGE_MATCH);
         let mut entries: Vec<ReferralEntry> = Vec::new();
-        for p in &permitted {
-            // Policy scopes omit the user-id predicate; requests to the
-            // stores must carry it so multi-tenant stores answer for the
-            // right user.
-            let p = ensure_user_id(p, owner);
-            let m = coverage.match_request(&p);
+        for p in &rewritten {
+            let m = coverage.match_request(p);
             for (store, path) in m.full {
                 push_unique(
                     &mut entries,
@@ -262,20 +335,27 @@ impl Gupster {
                 );
             }
         }
+        let scanned = (coverage.entries().len() * rewritten.len()) as u64;
+        tracer.charge(SimTime::micros(1 + scanned));
+        tracer.exit();
         if entries.is_empty() {
             self.stats.uncovered += 1;
             return Err(GupsterError::NoCoverage(request.to_string()));
         }
 
-        // 5. Sign the rewritten query.
+        // 5. Sign the rewritten query (one HMAC pass, ~20µs).
         let merge_required = entries.iter().any(|e| !e.complete);
+        tracer.enter(stage::TOKEN_SIGN);
         let token = self.signer.sign(
             owner,
             requester,
             entries.iter().map(|e| e.path.to_string()).collect(),
             now,
         );
+        tracer.charge(SimTime::micros(20));
+        tracer.exit();
         self.stats.referrals += 1;
+        self.telemetry.counters().referrals.fetch_add(1, Ordering::Relaxed);
         self.provenance.record(Disclosure {
             when: now,
             owner: owner.to_string(),
@@ -532,6 +612,37 @@ mod tests {
             g.provenance.accessors_of("arnaud", &p("/user/presence")),
             vec!["rick"]
         );
+    }
+
+    #[test]
+    fn lookup_traces_pipeline_stages() {
+        let mut g = server();
+        g.lookup("arnaud", &p("/user[@id='arnaud']/address-book"), "arnaud", Purpose::Query, noon(), 0)
+            .unwrap();
+        let hub = g.telemetry();
+        let spans = hub.spans();
+        assert!(gupster_telemetry::single_rooted_tree(&spans), "{spans:?}");
+        assert_eq!(spans[0].stage, "registry.lookup");
+        for s in ["registry.lookup", "policy.decide", "query.rewrite", "coverage.match", "token.sign"] {
+            assert!(hub.stage_stats(s).is_some(), "missing stage {s}");
+        }
+        let c = hub.counter_snapshot();
+        assert_eq!(c.lookups, 1);
+        assert_eq!(c.referrals, 1);
+        assert_eq!(c.policy_denials, 0);
+    }
+
+    #[test]
+    fn denied_lookup_counts_denial_and_stops_tracing() {
+        let mut g = server();
+        let _ = g.lookup("arnaud", &p("/user[@id='arnaud']/presence"), "spy", Purpose::Query, noon(), 0);
+        let hub = g.telemetry();
+        let c = hub.counter_snapshot();
+        assert_eq!(c.policy_denials, 1);
+        assert_eq!(c.referrals, 0);
+        // The pipeline stopped at the shield: no signing span.
+        assert!(hub.stage_stats("token.sign").is_none());
+        assert!(hub.stage_stats("policy.decide").is_some());
     }
 
     #[test]

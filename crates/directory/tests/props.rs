@@ -1,49 +1,60 @@
-//! Property tests local to the directory crate: DN algebra, filter
-//! parser robustness, search-scope monotonicity, syntax normalizers.
+//! Randomized invariant tests local to the directory crate: DN algebra,
+//! filter parser robustness, search-scope monotonicity, syntax
+//! normalizers. Deterministic — see `gupster_rng::check`.
 
-use proptest::prelude::*;
+use gupster_directory::{AttributeSyntax, Directory, Dn, Entry, Filter, Scope};
+use gupster_rng::check::{self, cases};
+use gupster_rng::{Rng, StdRng};
 
-use gupster_directory::{
-    AttributeSyntax, Directory, Dn, Entry, Filter, Scope,
-};
-
-fn arb_dn() -> impl Strategy<Value = Dn> {
-    prop::collection::vec(("[a-z]{1,4}", "[a-zA-Z0-9]{1,6}"), 1..5)
-        .prop_map(|rdns| Dn { rdns })
+fn arb_dn(rng: &mut StdRng) -> Dn {
+    // Attribute names get lowercased by the parser, so generate
+    // lowercase attrs and alphanumeric values.
+    let rdns = check::vec_of(rng, 1, 4, |r| (check::lowercase(r, 1, 4), check::alnum(r, 1, 6)));
+    Dn { rdns }
 }
 
-proptest! {
-    /// DN display → parse is the identity (names are already lowercase
-    /// in the generator's range... attribute names get lowercased, so
-    /// generate lowercase attrs and arbitrary-case values).
-    #[test]
-    fn dn_display_parse_roundtrip(dn in arb_dn()) {
+/// DN display → parse is the identity.
+#[test]
+fn dn_display_parse_roundtrip() {
+    cases(256, 0xd1_01, |rng| {
+        let dn = arb_dn(rng);
         let back = Dn::parse(&dn.to_string()).unwrap();
-        prop_assert_eq!(back, dn);
-    }
+        assert_eq!(back, dn);
+    });
+}
 
-    /// parent/child are inverse; is_under is a partial order on chains.
-    #[test]
-    fn dn_hierarchy_laws(dn in arb_dn(), attr in "[a-z]{1,4}", value in "[a-z0-9]{1,5}") {
+/// parent/child are inverse; is_under is a partial order on chains.
+#[test]
+fn dn_hierarchy_laws() {
+    cases(256, 0xd1_02, |rng| {
+        let dn = arb_dn(rng);
+        let attr = check::lowercase(rng, 1, 4);
+        let value = check::alnum(rng, 1, 5);
         let child = dn.child(&attr, &value);
-        prop_assert_eq!(child.parent().unwrap(), dn.clone());
-        prop_assert!(child.is_under(&dn));
-        prop_assert!(child.is_child_of(&dn));
-        prop_assert!(!dn.is_under(&child));
-        prop_assert!(dn.is_under(&dn));
-        prop_assert!(child.is_under(&Dn::root()));
-    }
+        assert_eq!(child.parent().unwrap(), dn.clone());
+        assert!(child.is_under(&dn));
+        assert!(child.is_child_of(&dn));
+        assert!(!dn.is_under(&child));
+        assert!(dn.is_under(&dn));
+        assert!(child.is_under(&Dn::root()));
+    });
+}
 
-    /// The filter parser never panics on arbitrary input.
-    #[test]
-    fn filter_parser_never_panics(input in ".{0,60}") {
+/// The filter parser never panics on arbitrary input.
+#[test]
+fn filter_parser_never_panics() {
+    cases(512, 0xd1_03, |rng| {
+        let input = check::printable(rng, 0, 60);
         let _ = Filter::parse(&input);
-    }
+    });
+}
 
-    /// Base hits ⊆ one-level ∪ base ⊆ subtree hits, for any filter that
-    /// parses.
-    #[test]
-    fn scope_monotonicity(values in prop::collection::vec("[a-z]{1,6}", 1..6)) {
+/// Base hits ⊆ one-level ∪ base ⊆ subtree hits, for any filter that
+/// parses.
+#[test]
+fn scope_monotonicity() {
+    cases(128, 0xd1_04, |rng| {
+        let values = check::vec_of(rng, 1, 5, |r| check::lowercase(r, 1, 6));
         let mut dir = Directory::new();
         dir.add(Entry::new(Dn::parse("o=x").unwrap(), &["organization"]).with("o", "x")).unwrap();
         for (i, v) in values.iter().enumerate() {
@@ -59,46 +70,56 @@ proptest! {
         let b = dir.search(&base, Scope::Base, &f).hits.len();
         let one = dir.search(&base, Scope::OneLevel, &f).hits.len();
         let sub = dir.search(&base, Scope::Subtree, &f).hits.len();
-        prop_assert_eq!(b, 1);
-        prop_assert_eq!(one, values.len());
-        prop_assert_eq!(sub, values.len() + 1);
-    }
+        assert_eq!(b, 1);
+        assert_eq!(one, values.len());
+        assert_eq!(sub, values.len() + 1);
+    });
+}
 
-    /// Telephone normalization is idempotent and punctuation-blind.
-    #[test]
-    fn telephone_syntax_laws(digits in proptest::collection::vec(0u8..10, 3..12)) {
+/// Telephone normalization is idempotent and punctuation-blind.
+#[test]
+fn telephone_syntax_laws() {
+    cases(256, 0xd1_05, |rng| {
+        let digits = check::vec_of(rng, 3, 11, |r| r.gen_range(0u8..10));
         let syn = AttributeSyntax::Telephone;
         let plain: String = digits.iter().map(|d| d.to_string()).collect();
         let spaced: String = digits.iter().map(|d| format!("{d} ")).collect();
-        let parens = format!("({})", plain);
-        prop_assert!(syn.eq(&plain, &spaced));
-        prop_assert!(syn.eq(&plain, &parens));
+        let parens = format!("({plain})");
+        assert!(syn.eq(&plain, &spaced));
+        assert!(syn.eq(&plain, &parens));
         let n = syn.normalize(&spaced);
-        prop_assert_eq!(syn.normalize(&n), n);
-    }
+        assert_eq!(syn.normalize(&n), n);
+    });
+}
 
-    /// Case-ignore equality is an equivalence on printable strings:
-    /// reflexive, symmetric; normalization idempotent.
-    #[test]
-    fn case_ignore_laws(a in "[ -~]{0,20}", b in "[ -~]{0,20}") {
+/// Case-ignore equality is an equivalence on printable strings:
+/// reflexive, symmetric; normalization idempotent.
+#[test]
+fn case_ignore_laws() {
+    cases(256, 0xd1_06, |rng| {
+        let a = check::printable(rng, 0, 20);
+        let b = check::printable(rng, 0, 20);
         let syn = AttributeSyntax::CaseIgnore;
-        prop_assert!(syn.eq(&a, &a));
-        prop_assert_eq!(syn.eq(&a, &b), syn.eq(&b, &a));
+        assert!(syn.eq(&a, &a));
+        assert_eq!(syn.eq(&a, &b), syn.eq(&b, &a));
         let n = syn.normalize(&a);
-        prop_assert_eq!(syn.normalize(&n), n);
-    }
+        assert_eq!(syn.normalize(&n), n);
+    });
+}
 
-    /// Every added leaf entry can be deleted, and delete is idempotent
-    /// in its failure mode.
-    #[test]
-    fn add_delete_roundtrip(cn in "[a-z]{1,8}") {
+/// Every added leaf entry can be deleted, and delete is idempotent
+/// in its failure mode.
+#[test]
+fn add_delete_roundtrip() {
+    cases(256, 0xd1_07, |rng| {
+        let cn = check::lowercase(rng, 1, 8);
         let mut dir = Directory::new();
         dir.add(Entry::new(Dn::parse("o=x").unwrap(), &["organization"]).with("o", "x")).unwrap();
         let dn = Dn::parse(&format!("cn={cn},o=x")).unwrap();
         dir.add(Entry::new(dn.clone(), &["person"]).with("cn", cn).with("sn", "s")).unwrap();
-        prop_assert!(dir.get(&dn).is_ok());
-        prop_assert!(dir.delete(&dn).is_ok());
-        prop_assert!(dir.get(&dn).is_err());
-        prop_assert!(dir.delete(&dn).is_err());
-    }
+        assert!(dir.get(&dn).is_ok());
+        assert!(dir.delete(&dn).is_ok());
+        assert!(dir.get(&dn).is_err());
+        assert!(dir.delete(&dn).is_err());
+    });
 }

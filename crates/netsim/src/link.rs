@@ -1,6 +1,6 @@
 //! Link latency models per network domain.
 
-use rand::Rng;
+use gupster_rng::Rng;
 
 use crate::clock::SimTime;
 
@@ -82,8 +82,7 @@ impl LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gupster_rng::{SeedableRng, StdRng};
 
     #[test]
     fn fixed_is_deterministic() {

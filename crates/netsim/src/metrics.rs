@@ -1,8 +1,24 @@
 //! Message and latency accounting.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use crate::clock::SimTime;
+
+/// One metered message, attributed to a request (per-request hop lists
+/// let experiments reconstruct the exact path a request took through
+/// the converged network).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Sending node label.
+    pub from: String,
+    /// Receiving node label.
+    pub to: String,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Simulated one-way latency.
+    pub latency: SimTime,
+}
 
 /// Counters recorded by the network. Experiments read these to report
 /// message counts, bytes moved and latency distributions.
@@ -16,17 +32,45 @@ pub struct Metrics {
     pub total_latency: SimTime,
     /// Per (from-label, to-label) message counts.
     pub per_edge: BTreeMap<(String, String), u64>,
+    /// Per-request hop lists — populated only for messages sent while a
+    /// request id was active on the network (see
+    /// [`crate::Network::begin_request`]).
+    pub per_request: BTreeMap<u64, Vec<Hop>>,
     latencies_us: Vec<u64>,
+    /// Lazily maintained sorted copy of `latencies_us`; valid while its
+    /// length matches (records only append, so a length match means no
+    /// new data arrived since the last sort).
+    sorted: RefCell<Vec<u64>>,
 }
 
 impl Metrics {
     /// Records one message.
     pub fn record(&mut self, from: &str, to: &str, bytes: usize, latency: SimTime) {
+        self.record_for_request(from, to, bytes, latency, None);
+    }
+
+    /// Records one message, attributing it to `request` when present.
+    pub fn record_for_request(
+        &mut self,
+        from: &str,
+        to: &str,
+        bytes: usize,
+        latency: SimTime,
+        request: Option<u64>,
+    ) {
         self.messages += 1;
         self.bytes += bytes as u64;
         self.total_latency += latency;
         *self.per_edge.entry((from.to_string(), to.to_string())).or_default() += 1;
         self.latencies_us.push(latency.0);
+        if let Some(req) = request {
+            self.per_request.entry(req).or_default().push(Hop {
+                from: from.to_string(),
+                to: to.to_string(),
+                bytes: bytes as u64,
+                latency,
+            });
+        }
     }
 
     /// Resets all counters.
@@ -34,15 +78,41 @@ impl Metrics {
         *self = Metrics::default();
     }
 
-    /// The `q`-quantile (0.0–1.0) of per-message latency.
-    pub fn latency_quantile(&self, q: f64) -> SimTime {
-        if self.latencies_us.is_empty() {
-            return SimTime::ZERO;
+    /// The hop list of one request (empty when the request sent no
+    /// tagged messages).
+    pub fn hops_of(&self, request: u64) -> &[Hop] {
+        self.per_request.get(&request).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn with_sorted<R>(&self, f: impl FnOnce(&[u64]) -> R) -> R {
+        let mut cache = self.sorted.borrow_mut();
+        if cache.len() != self.latencies_us.len() {
+            cache.clone_from(&self.latencies_us);
+            cache.sort_unstable();
         }
-        let mut v = self.latencies_us.clone();
-        v.sort_unstable();
-        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        SimTime(v[idx])
+        f(&cache)
+    }
+
+    /// The `q`-quantile (0.0–1.0) of per-message latency. The sorted
+    /// view is cached and reused until a new message is recorded, so a
+    /// report pass asking for several quantiles sorts once.
+    pub fn latency_quantile(&self, q: f64) -> SimTime {
+        self.latency_quantiles(&[q])[0]
+    }
+
+    /// All requested quantiles in one pass over a single sorted view.
+    pub fn latency_quantiles(&self, qs: &[f64]) -> Vec<SimTime> {
+        if self.latencies_us.is_empty() {
+            return vec![SimTime::ZERO; qs.len()];
+        }
+        self.with_sorted(|v| {
+            qs.iter()
+                .map(|q| {
+                    let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+                    SimTime(v[idx])
+                })
+                .collect()
+        })
     }
 
     /// Mean per-message latency.
@@ -88,5 +158,40 @@ mod tests {
         m.reset();
         assert_eq!(m.messages, 0);
         assert_eq!(m.bytes, 0);
+        assert!(m.per_request.is_empty());
+    }
+
+    #[test]
+    fn quantiles_single_pass_matches_repeated_calls() {
+        let mut m = Metrics::default();
+        for ms in [9u64, 1, 5, 3, 7] {
+            m.record("a", "b", 0, SimTime::millis(ms));
+        }
+        let qs = m.latency_quantiles(&[0.0, 0.5, 1.0]);
+        assert_eq!(qs, vec![SimTime::millis(1), SimTime::millis(5), SimTime::millis(9)]);
+        assert_eq!(qs[1], m.latency_quantile(0.5));
+    }
+
+    #[test]
+    fn sorted_cache_invalidated_by_new_records() {
+        let mut m = Metrics::default();
+        m.record("a", "b", 0, SimTime::millis(10));
+        assert_eq!(m.latency_quantile(1.0), SimTime::millis(10));
+        m.record("a", "b", 0, SimTime::millis(50));
+        assert_eq!(m.latency_quantile(1.0), SimTime::millis(50));
+        assert_eq!(m.latency_quantile(0.0), SimTime::millis(10));
+    }
+
+    #[test]
+    fn per_request_hops_recorded() {
+        let mut m = Metrics::default();
+        m.record_for_request("a", "b", 10, SimTime::millis(1), Some(7));
+        m.record_for_request("b", "c", 20, SimTime::millis(2), Some(7));
+        m.record_for_request("a", "c", 5, SimTime::millis(3), None);
+        assert_eq!(m.hops_of(7).len(), 2);
+        assert_eq!(m.hops_of(7)[0].from, "a");
+        assert_eq!(m.hops_of(7)[1].to, "c");
+        assert_eq!(m.hops_of(8), &[]);
+        assert_eq!(m.messages, 3, "untagged messages still metered");
     }
 }

@@ -2,9 +2,9 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::sync::Mutex;
+
+use gupster_rng::{SeedableRng, StdRng};
 
 use crate::clock::SimTime;
 use crate::link::{Domain, LatencyModel};
@@ -40,6 +40,9 @@ pub struct Network {
 struct Inner {
     rng: StdRng,
     metrics: Metrics,
+    /// When set, sends are attributed to this request id so telemetry
+    /// can reconstruct per-request hop lists.
+    current_request: Option<u64>,
 }
 
 impl Network {
@@ -49,7 +52,11 @@ impl Network {
             nodes: Vec::new(),
             by_label: HashMap::new(),
             overrides: HashMap::new(),
-            inner: Mutex::new(Inner { rng: StdRng::seed_from_u64(seed), metrics: Metrics::default() }),
+            inner: Mutex::new(Inner {
+                rng: StdRng::seed_from_u64(seed),
+                metrics: Metrics::default(),
+                current_request: None,
+            }),
         }
     }
 
@@ -97,11 +104,28 @@ impl Network {
             return SimTime::ZERO; // local call
         }
         let model = self.model(from, to);
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         let t = model.sample(bytes, &mut inner.rng);
         let (fl, tl) = (self.node(from).label.clone(), self.node(to).label.clone());
-        inner.metrics.record(&fl, &tl, bytes, t);
+        let req = inner.current_request;
+        inner.metrics.record_for_request(&fl, &tl, bytes, t, req);
         t
+    }
+
+    /// Attributes subsequent sends to `request` until
+    /// [`Network::end_request`] — the propagation hook the telemetry
+    /// layer uses to turn per-edge counts into per-request hop lists.
+    pub fn begin_request(&self, request: u64) {
+        self.lock().current_request = Some(request);
+    }
+
+    /// Stops attributing sends to a request.
+    pub fn end_request(&self) {
+        self.lock().current_request = None;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("network mutex poisoned")
     }
 
     /// A request/response round trip: request of `req_bytes` out,
@@ -112,17 +136,17 @@ impl Network {
 
     /// Runs a closure over the metrics.
     pub fn with_metrics<R>(&self, f: impl FnOnce(&Metrics) -> R) -> R {
-        f(&self.inner.lock().metrics)
+        f(&self.lock().metrics)
     }
 
     /// Snapshot of the metrics.
     pub fn metrics(&self) -> Metrics {
-        self.inner.lock().metrics.clone()
+        self.lock().metrics.clone()
     }
 
     /// Resets metrics (not the RNG).
     pub fn reset_metrics(&self) {
-        self.inner.lock().metrics.reset();
+        self.lock().metrics.reset();
     }
 }
 

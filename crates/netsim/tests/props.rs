@@ -1,23 +1,23 @@
-//! Property tests local to the network simulator: latency bounds,
-//! metric accounting, journey composition, and wireless-protocol
-//! invariants.
-
-use proptest::prelude::*;
+//! Randomized invariant tests local to the network simulator: latency
+//! bounds, metric accounting, journey composition, and
+//! wireless-protocol invariants. Deterministic — see
+//! `gupster_rng::check`.
 
 use gupster_netsim::wireless::Carrier;
 use gupster_netsim::{Domain, Journey, LatencyModel, Network, SimTime};
+use gupster_rng::check::{self, cases};
+use gupster_rng::Rng;
 
-proptest! {
-    /// Sampled latency always lies in
-    /// [base + size charge, base + jitter + size charge].
-    #[test]
-    fn latency_within_model_bounds(
-        base_ms in 0u64..100,
-        jitter_ms in 0u64..50,
-        per_kb_us in 0u64..1000,
-        bytes in 0usize..100_000,
-        seed in 0u64..1000,
-    ) {
+/// Sampled latency always lies in
+/// [base + size charge, base + jitter + size charge].
+#[test]
+fn latency_within_model_bounds() {
+    cases(256, 0x4e_01, |rng| {
+        let base_ms = rng.gen_range(0u64..100);
+        let jitter_ms = rng.gen_range(0u64..50);
+        let per_kb_us = rng.gen_range(0u64..1000);
+        let bytes = rng.gen_range(0usize..100_000);
+        let seed = rng.gen_range(0u64..1000);
         let model = LatencyModel {
             base: SimTime::millis(base_ms),
             jitter: SimTime::millis(jitter_ms),
@@ -31,12 +31,15 @@ proptest! {
         let size = SimTime::micros(per_kb_us * (bytes.div_ceil(1024) as u64));
         let lo = SimTime::millis(base_ms) + size;
         let hi = lo + SimTime::millis(jitter_ms);
-        prop_assert!(t >= lo && t <= hi, "t={t} not in [{lo}, {hi}]");
-    }
+        assert!(t >= lo && t <= hi, "t={t} not in [{lo}, {hi}]");
+    });
+}
 
-    /// Metrics account exactly for what was sent.
-    #[test]
-    fn metrics_account_exactly(sends in prop::collection::vec(0usize..10_000, 0..20)) {
+/// Metrics account exactly for what was sent.
+#[test]
+fn metrics_account_exactly() {
+    cases(256, 0x4e_02, |rng| {
+        let sends = check::vec_of(rng, 0, 19, |r| r.gen_range(0usize..10_000));
         let mut net = Network::new(1);
         let a = net.add_node("a", Domain::Pstn);
         let b = net.add_node("b", Domain::Pstn);
@@ -45,15 +48,18 @@ proptest! {
             total += net.send(a, b, *s);
         }
         let m = net.metrics();
-        prop_assert_eq!(m.messages, sends.len() as u64);
-        prop_assert_eq!(m.bytes, sends.iter().map(|s| *s as u64).sum::<u64>());
-        prop_assert_eq!(m.total_latency, total);
-    }
+        assert_eq!(m.messages, sends.len() as u64);
+        assert_eq!(m.bytes, sends.iter().map(|s| *s as u64).sum::<u64>());
+        assert_eq!(m.total_latency, total);
+    });
+}
 
-    /// A parallel journey never exceeds the sequential one over the same
-    /// calls, and both dominate the slowest single call.
-    #[test]
-    fn parallel_leq_sequential(ms in prop::collection::vec(1u64..200, 1..6)) {
+/// A parallel journey never exceeds the sequential one over the same
+/// calls, and both dominate the slowest single call.
+#[test]
+fn parallel_leq_sequential() {
+    cases(128, 0x4e_03, |rng| {
+        let ms = check::vec_of(rng, 1, 5, |r| r.gen_range(1u64..200));
         let mut net = Network::new(2);
         let c = net.add_node("c", Domain::Client);
         let targets: Vec<_> = ms
@@ -72,15 +78,18 @@ proptest! {
         let mut par = Journey::start();
         let calls: Vec<(_, usize, usize)> = targets.iter().map(|t| (*t, 0, 0)).collect();
         par.parallel_rpcs(&net, c, &calls);
-        prop_assert!(par.elapsed() <= seq.elapsed());
+        assert!(par.elapsed() <= seq.elapsed());
         let slowest = SimTime::millis(*ms.iter().max().unwrap() * 2);
-        prop_assert!(par.elapsed() >= slowest);
-    }
+        assert!(par.elapsed() >= slowest);
+    });
+}
 
-    /// Location-update invariant: after any sequence of moves, exactly
-    /// one VLR holds the subscriber's snapshot and the HLR routes to it.
-    #[test]
-    fn single_vlr_holds_subscriber(moves in prop::collection::vec(0usize..4, 0..12)) {
+/// Location-update invariant: after any sequence of moves, exactly
+/// one VLR holds the subscriber's snapshot and the HLR routes to it.
+#[test]
+fn single_vlr_holds_subscriber() {
+    cases(128, 0x4e_04, |rng| {
+        let moves = check::vec_of(rng, 0, 11, |r| r.gen_range(0usize..4));
         let mut net = Network::new(3);
         let mut c = Carrier::build(&mut net, "t", 4);
         c.provision(&net, "908-555-0000", "sub", false);
@@ -93,17 +102,20 @@ proptest! {
                 holders.push(i);
             }
         }
-        prop_assert_eq!(holders.len(), 1, "exactly one VLR must hold the snapshot");
+        assert_eq!(holders.len(), 1, "exactly one VLR must hold the snapshot");
         let expected_area = *moves.last().unwrap_or(&0);
-        prop_assert_eq!(holders[0], expected_area);
+        assert_eq!(holders[0], expected_area);
         let (vlr_label, _) = c.hlr.lookup_routing("908-555-0000").unwrap();
-        prop_assert_eq!(vlr_label, c.areas[expected_area].0.label.clone());
-    }
+        assert_eq!(vlr_label, c.areas[expected_area].0.label.clone());
+    });
+}
 
-    /// Call delivery succeeds for every provisioned subscriber wherever
-    /// they moved, and never for strangers.
-    #[test]
-    fn call_delivery_total_on_provisioned(moves in prop::collection::vec(0usize..3, 0..6)) {
+/// Call delivery succeeds for every provisioned subscriber wherever
+/// they moved, and never for strangers.
+#[test]
+fn call_delivery_total_on_provisioned() {
+    cases(128, 0x4e_05, |rng| {
+        let moves = check::vec_of(rng, 0, 5, |r| r.gen_range(0usize..3));
         let mut net = Network::new(4);
         let mut c = Carrier::build(&mut net, "t", 3);
         c.provision(&net, "908-1", "a", false);
@@ -112,9 +124,9 @@ proptest! {
         }
         let origin = c.areas[0].1;
         let delivered = c.call_delivery(&net, origin, "908-1");
-        prop_assert!(delivered.is_some());
+        assert!(delivered.is_some());
         let (_, serving) = delivered.unwrap();
-        prop_assert_eq!(serving, c.areas[*moves.last().unwrap_or(&0)].1);
-        prop_assert!(c.call_delivery(&net, origin, "000-STRANGER").is_none());
-    }
+        assert_eq!(serving, c.areas[*moves.last().unwrap_or(&0)].1);
+        assert!(c.call_delivery(&net, origin, "000-STRANGER").is_none());
+    });
 }

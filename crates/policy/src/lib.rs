@@ -35,6 +35,6 @@ mod rule;
 pub use condition::Condition;
 pub use context::{Purpose, RequestContext, WeekTime};
 pub use pap::{Pap, RuleError};
-pub use pdp::{Decision, Pdp};
+pub use pdp::{Decision, DecisionCost, Pdp};
 pub use repository::PolicyRepository;
 pub use rule::{Effect, Rule};

@@ -28,6 +28,19 @@ impl Decision {
     }
 }
 
+/// How much work one [`Pdp::decide`] call performed — the hook the
+/// telemetry layer uses to charge a deterministic, rule-proportional
+/// cost to the `policy.decide` stage without coupling this crate to the
+/// tracer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionCost {
+    /// Rules of the owner that were examined (condition + overlap test).
+    pub rules_considered: u64,
+    /// Rules whose condition held and whose scope related to the
+    /// request (the ones that shaped the decision).
+    pub rules_applicable: u64,
+}
+
 /// The decision point. Stateless over a repository reference — the
 /// repository itself is the state, per Figure 10's role split.
 #[derive(Debug, Clone, Copy, Default)]
@@ -59,20 +72,39 @@ impl Pdp {
         request: &Path,
         ctx: &RequestContext,
     ) -> Decision {
+        self.decide_with_cost(repo, owner, request, ctx).0
+    }
+
+    /// [`Pdp::decide`] plus the amount of rule-evaluation work done.
+    pub fn decide_with_cost(
+        &self,
+        repo: &PolicyRepository,
+        owner: &str,
+        request: &Path,
+        ctx: &RequestContext,
+    ) -> (Decision, DecisionCost) {
+        let mut cost = DecisionCost::default();
         if ctx.relationship == "self" {
             // The owner always reaches their own data; deny rules do not
             // apply to self (the owner edits the shield through the PAP).
-            return Decision::Permit;
+            return (Decision::Permit, cost);
         }
         // Rules are stored per owner, so their scopes omit the
         // `[@id='…']` predicate requests carry on the first step;
         // normalize the request the same way before matching.
         let request = &strip_user_id(request);
-        let applicable: Vec<&Rule> = repo
-            .rules_for(owner)
+        let rules = repo.rules_for(owner);
+        cost.rules_considered = rules.len() as u64;
+        let applicable: Vec<&Rule> = rules
             .iter()
             .filter(|r| r.condition.eval(ctx) && may_overlap(&r.scope, request))
             .collect();
+        cost.rules_applicable = applicable.len() as u64;
+        (self.weigh(applicable, request), cost)
+    }
+
+    /// Weighs the applicable rules against the (normalized) request.
+    fn weigh(&self, applicable: Vec<&Rule>, request: &Path) -> Decision {
 
         // Deny wins at equal or higher priority than the permits that
         // would admit the same region; we implement the paper's simple

@@ -10,7 +10,7 @@
 use gupster_xpath::Path;
 
 use crate::context::RequestContext;
-use crate::pdp::{Decision, Pdp};
+use crate::pdp::{Decision, DecisionCost, Pdp};
 use crate::repository::PolicyRepository;
 
 /// The result of enforcing a decision on a request.
@@ -33,11 +33,25 @@ pub fn enforce(
     request: &Path,
     ctx: &RequestContext,
 ) -> Enforcement {
-    match pdp.decide(repo, owner, request, ctx) {
+    enforce_with_cost(pdp, repo, owner, request, ctx).0
+}
+
+/// [`enforce`] plus the PDP's rule-evaluation work, so callers can
+/// charge a rule-proportional cost to their `policy.decide` span.
+pub fn enforce_with_cost(
+    pdp: &Pdp,
+    repo: &PolicyRepository,
+    owner: &str,
+    request: &Path,
+    ctx: &RequestContext,
+) -> (Enforcement, DecisionCost) {
+    let (decision, cost) = pdp.decide_with_cost(repo, owner, request, ctx);
+    let enforcement = match decision {
         Decision::Permit => Enforcement::Proceed(vec![request.clone()]),
         Decision::Deny => Enforcement::Refused,
         Decision::PermitNarrowed(parts) => Enforcement::Proceed(parts),
-    }
+    };
+    (enforcement, cost)
 }
 
 #[cfg(test)]

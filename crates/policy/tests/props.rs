@@ -1,27 +1,32 @@
-//! Property tests local to the policy crate: condition-parser
-//! robustness, time-window semantics, and PDP determinism/monotonicity.
-
-use proptest::prelude::*;
+//! Randomized invariant tests local to the policy crate:
+//! condition-parser robustness, time-window semantics, and PDP
+//! determinism/monotonicity. Deterministic — see `gupster_rng::check`.
 
 use gupster_policy::{
     pep, Condition, Pdp, PolicyRepository, Purpose, RequestContext, Rule, WeekTime,
 };
+use gupster_rng::check::{self, cases};
+use gupster_rng::Rng;
 use gupster_xpath::Path;
 
-proptest! {
-    /// The condition parser never panics on arbitrary input.
-    #[test]
-    fn condition_parser_never_panics(input in ".{0,60}") {
+/// The condition parser never panics on arbitrary input.
+#[test]
+fn condition_parser_never_panics() {
+    cases(512, 0x90_01, |rng| {
+        let input = check::printable(rng, 0, 60);
         let _ = Condition::parse(&input);
-    }
+    });
+}
 
-    /// Display → parse preserves semantics on a probe grid.
-    #[test]
-    fn condition_display_semantics(
-        rel in "[a-z]{1,8}",
-        d1 in 0u32..7, d2 in 0u32..7,
-        h1 in 0u32..24, h2 in 0u32..24,
-    ) {
+/// Display → parse preserves semantics on a probe grid.
+#[test]
+fn condition_display_semantics() {
+    cases(256, 0x90_02, |rng| {
+        let rel = check::lowercase(rng, 1, 8);
+        let d1 = rng.gen_range(0u32..7);
+        let d2 = rng.gen_range(0u32..7);
+        let h1 = rng.gen_range(0u32..24);
+        let h2 = rng.gen_range(0u32..24);
         let days = if d1 <= d2 { format!("{}-{}", day(d1), day(d2)) } else { "any".to_string() };
         let src = format!("relationship='{rel}' and time in {days} {h1:02}:00-{h2:02}:00");
         let c = Condition::parse(&src).unwrap();
@@ -29,39 +34,46 @@ proptest! {
         for pd in 0..7 {
             for ph in [0u32, 6, 12, 18, 23] {
                 let ctx = RequestContext::query("x", &rel, WeekTime::at(pd, ph, 30));
-                prop_assert_eq!(c.eval(&ctx), c2.eval(&ctx), "{} probe {} {}", src, pd, ph);
+                assert_eq!(c.eval(&ctx), c2.eval(&ctx), "{src} probe {pd} {ph}");
             }
         }
-    }
+    });
+}
 
-    /// TimeWindow semantics: minute m matches [from,to) with midnight
-    /// wrap exactly when the arithmetic says so.
-    #[test]
-    fn time_window_semantics(from in 0u32..1440, to in 0u32..1440, d in 0u32..7, m in 0u32..1440) {
+/// TimeWindow semantics: minute m matches [from,to) with midnight
+/// wrap exactly when the arithmetic says so.
+#[test]
+fn time_window_semantics() {
+    cases(512, 0x90_03, |rng| {
+        let from = rng.gen_range(0u32..1440);
+        let to = rng.gen_range(0u32..1440);
+        let d = rng.gen_range(0u32..7);
+        let m = rng.gen_range(0u32..1440);
         let c = Condition::TimeWindow { days: vec![d], from, to };
         let ctx = RequestContext::query("x", "r", WeekTime { minutes: d * 1440 + m });
         let expect = if from <= to { m >= from && m < to } else { m >= from || m < to };
-        prop_assert_eq!(c.eval(&ctx), expect);
+        assert_eq!(c.eval(&ctx), expect);
         // Other days never match.
         let other = RequestContext::query("x", "r", WeekTime { minutes: ((d + 1) % 7) * 1440 + m });
-        prop_assert!(!c.eval(&other));
-    }
+        assert!(!c.eval(&other));
+    });
+}
 
-    /// The PDP is deterministic and the owner is always permitted.
-    #[test]
-    fn pdp_determinism_and_owner_rule(
-        rel in "[a-z]{1,6}",
-        scope_idx in 0usize..4,
-        day in 0u32..7,
-        hour in 0u32..24,
-    ) {
+/// The PDP is deterministic and the owner is always permitted.
+#[test]
+fn pdp_determinism_and_owner_rule() {
+    cases(256, 0x90_04, |rng| {
+        let rel = check::lowercase(rng, 1, 6);
         let scopes = ["/user/presence", "/user/address-book", "/user/calendar", "/user/wallet"];
+        let scope = *rng.pick(&scopes);
+        let day = rng.gen_range(0u32..7);
+        let hour = rng.gen_range(0u32..24);
         let mut repo = PolicyRepository::new();
         repo.put(
             "alice",
             Rule::permit(
                 "r",
-                Path::parse(scopes[scope_idx]).unwrap(),
+                Path::parse(scope).unwrap(),
                 Condition::parse(&format!("relationship='{rel}'")).unwrap(),
             ),
         );
@@ -70,15 +82,19 @@ proptest! {
         let ctx = RequestContext::query("rick", &rel, WeekTime::at(day, hour, 0));
         let a = pdp.decide(&repo, "alice", &req, &ctx);
         let b = pdp.decide(&repo, "alice", &req, &ctx);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         let owner = RequestContext::owner("alice", WeekTime::at(day, hour, 0));
-        prop_assert!(pdp.decide(&repo, "alice", &req, &owner).allows_anything());
-    }
+        assert!(pdp.decide(&repo, "alice", &req, &owner).allows_anything());
+    });
+}
 
-    /// Adding a deny rule never *grants* access that was refused before
-    /// (deny-overrides monotonicity).
-    #[test]
-    fn deny_rules_never_widen_access(rel in "[a-z]{1,6}", other in "[a-z]{1,6}") {
+/// Adding a deny rule never *grants* access that was refused before
+/// (deny-overrides monotonicity).
+#[test]
+fn deny_rules_never_widen_access() {
+    cases(256, 0x90_05, |rng| {
+        let rel = check::lowercase(rng, 1, 6);
+        let other = check::lowercase(rng, 1, 6);
         let pdp = Pdp::new();
         let req = Path::parse("/user/presence").unwrap();
         let ctx = RequestContext::query("rick", &rel, WeekTime::at(1, 10, 0));
@@ -98,12 +114,15 @@ proptest! {
             Rule::deny("d", Path::parse("/user/presence").unwrap(), Condition::True),
         );
         let after = pdp.decide(&repo, "alice", &req, &ctx).allows_anything();
-        prop_assert!(!after || before, "deny widened access");
-    }
+        assert!(!after || before, "deny widened access");
+    });
+}
 
-    /// Enforcement mirrors decisions: Proceed paths are never empty.
-    #[test]
-    fn enforcement_paths_nonempty(rel in "[a-z]{1,6}") {
+/// Enforcement mirrors decisions: Proceed paths are never empty.
+#[test]
+fn enforcement_paths_nonempty() {
+    cases(256, 0x90_06, |rng| {
+        let rel = check::lowercase(rng, 1, 6);
         let pdp = Pdp::new();
         let mut repo = PolicyRepository::new();
         repo.put(
@@ -118,10 +137,10 @@ proptest! {
         let ctx = RequestContext::query("rick", &rel, WeekTime::at(1, 10, 0))
             .with_purpose(Purpose::Query);
         match pep::enforce(&pdp, &repo, "alice", &req, &ctx) {
-            pep::Enforcement::Proceed(paths) => prop_assert!(!paths.is_empty()),
-            pep::Enforcement::Refused => prop_assert!(false, "matching permit must proceed"),
+            pep::Enforcement::Proceed(paths) => assert!(!paths.is_empty()),
+            pep::Enforcement::Refused => panic!("matching permit must proceed"),
         }
-    }
+    });
 }
 
 fn day(d: u32) -> &'static str {

@@ -1,0 +1,240 @@
+//! The [`TelemetryHub`]: request-id allotment, per-stage histograms,
+//! pipeline counters and finished-trace storage.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gupster_netsim::SimTime;
+
+use crate::histogram::Histogram;
+use crate::span::{RequestId, Span, Tracer};
+
+/// Pipeline event counters. Plain atomics so instrumented code can bump
+/// them without holding the hub's histogram lock.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Lookup requests traced.
+    pub lookups: AtomicU64,
+    /// Referrals issued.
+    pub referrals: AtomicU64,
+    /// Requests refused by the privacy shield.
+    pub policy_denials: AtomicU64,
+    /// Cache hits.
+    pub cache_hits: AtomicU64,
+    /// Cache misses.
+    pub cache_misses: AtomicU64,
+    /// Signature verifications performed by data stores.
+    pub signature_verifications: AtomicU64,
+}
+
+/// A point-in-time copy of the [`Counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Lookup requests traced.
+    pub lookups: u64,
+    /// Referrals issued.
+    pub referrals: u64,
+    /// Requests refused by the privacy shield.
+    pub policy_denials: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Signature verifications performed by data stores.
+    pub signature_verifications: u64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            referrals: self.referrals.load(Ordering::Relaxed),
+            policy_denials: self.policy_denials.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            signature_verifications: self.signature_verifications.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.lookups.store(0, Ordering::Relaxed);
+        self.referrals.store(0, Ordering::Relaxed);
+        self.policy_denials.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.signature_verifications.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Aggregate latency statistics of one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStats {
+    /// Number of spans recorded for the stage.
+    pub count: u64,
+    /// Median duration.
+    pub p50: SimTime,
+    /// 95th-percentile duration.
+    pub p95: SimTime,
+    /// 99th-percentile duration.
+    pub p99: SimTime,
+    /// Mean duration.
+    pub mean: SimTime,
+    /// Largest duration.
+    pub max: SimTime,
+}
+
+/// Owns everything telemetric: assigns [`RequestId`]s, aggregates
+/// per-stage histograms as spans close, keeps [`Counters`] and stores
+/// finished traces for export. Shared as `Arc<TelemetryHub>` between
+/// the registry, client-side instrumentation and experiment harnesses.
+#[derive(Debug, Default)]
+pub struct TelemetryHub {
+    next_request: AtomicU64,
+    counters: Counters,
+    stages: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl TelemetryHub {
+    /// A fresh hub.
+    pub fn new() -> Self {
+        TelemetryHub::default()
+    }
+
+    /// Allots the next request id.
+    pub fn next_request(&self) -> RequestId {
+        RequestId(self.next_request.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Starts tracing a new request; the root span carries `root_stage`.
+    pub fn tracer(self: &Arc<Self>, root_stage: &str) -> Tracer {
+        let request = self.next_request();
+        Tracer::new(Arc::clone(self), request, root_stage)
+    }
+
+    /// The pipeline counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// A copy of the counters.
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Zeroes the counters (histograms and traces are untouched).
+    pub fn reset_counters(&self) {
+        self.counters.reset();
+    }
+
+    /// Feeds one closed span's duration into its stage's histogram.
+    /// Public so simulation layers without a [`Tracer`] at hand can
+    /// still contribute stage timings.
+    pub fn record_stage(&self, stage: &str, duration: SimTime) {
+        let mut stages = self.lock_stages();
+        stages.entry(stage.to_string()).or_default().record(duration);
+    }
+
+    pub(crate) fn absorb(&self, spans: Vec<Span>) {
+        self.lock_spans().extend(spans);
+    }
+
+    /// All finished spans, in absorption order (root-first per request).
+    pub fn spans(&self) -> Vec<Span> {
+        self.lock_spans().clone()
+    }
+
+    /// Number of finished spans held.
+    pub fn span_count(&self) -> usize {
+        self.lock_spans().len()
+    }
+
+    /// The stage labels with at least one recorded span, sorted.
+    pub fn stages(&self) -> Vec<String> {
+        self.lock_stages().keys().cloned().collect()
+    }
+
+    /// Latency statistics of one stage, `None` when nothing recorded.
+    pub fn stage_stats(&self, stage: &str) -> Option<StageStats> {
+        let stages = self.lock_stages();
+        let h = stages.get(stage)?;
+        if h.count() == 0 {
+            return None;
+        }
+        Some(StageStats {
+            count: h.count(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+            mean: h.mean(),
+            max: h.max(),
+        })
+    }
+
+    /// Renders the per-stage latency table (see [`crate::table`]).
+    pub fn render_stage_table(&self, title: &str) -> String {
+        crate::table::render_stage_table(self, title)
+    }
+
+    /// Serializes every finished span as JSON lines (see
+    /// [`crate::export`]).
+    pub fn export_jsonl(&self) -> String {
+        crate::export::export(&self.spans())
+    }
+
+    fn lock_stages(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Histogram>> {
+        self.stages.lock().expect("telemetry stage mutex poisoned")
+    }
+
+    fn lock_spans(&self) -> std::sync::MutexGuard<'_, Vec<Span>> {
+        self.spans.lock().expect("telemetry span mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_bump_and_reset() {
+        let hub = TelemetryHub::new();
+        hub.counters().lookups.fetch_add(3, Ordering::Relaxed);
+        hub.counters().cache_hits.fetch_add(1, Ordering::Relaxed);
+        hub.counters().signature_verifications.fetch_add(2, Ordering::Relaxed);
+        let snap = hub.counter_snapshot();
+        assert_eq!(snap.lookups, 3);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.signature_verifications, 2);
+        assert_eq!(snap.policy_denials, 0);
+        hub.reset_counters();
+        assert_eq!(hub.counter_snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn stage_stats_aggregate_across_tracers() {
+        let hub = Arc::new(TelemetryHub::new());
+        for i in 1..=100u64 {
+            let mut t = hub.tracer("root");
+            t.span("token.sign", SimTime::micros(i));
+        }
+        let stats = hub.stage_stats("token.sign").unwrap();
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.max, SimTime::micros(100));
+        assert!(stats.p50 >= SimTime::micros(50) && stats.p50 < SimTime::micros(100));
+        assert!(stats.p95 >= SimTime::micros(95));
+        assert!(hub.stage_stats("ghost").is_none());
+        assert_eq!(hub.stages(), vec!["root".to_string(), "token.sign".to_string()]);
+    }
+
+    #[test]
+    fn counter_reset_keeps_histograms() {
+        let hub = Arc::new(TelemetryHub::new());
+        hub.tracer("root").span("xml.merge", SimTime::micros(10));
+        hub.counters().referrals.fetch_add(5, Ordering::Relaxed);
+        hub.reset_counters();
+        assert_eq!(hub.counter_snapshot().referrals, 0);
+        assert_eq!(hub.stage_stats("xml.merge").unwrap().count, 1);
+        assert_eq!(hub.span_count(), 2);
+    }
+}

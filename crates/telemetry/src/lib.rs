@@ -1,0 +1,68 @@
+//! # gupster-telemetry
+//!
+//! End-to-end request telemetry for the GUPster referral pipeline:
+//! spans, per-stage latency histograms and machine-readable trace
+//! export.
+//!
+//! Durations are measured in simulated [`SimTime`] — the workspace has
+//! no wall clocks in its hot paths, so traces are **deterministic**:
+//! the same seed produces byte-identical trace files, which keeps the
+//! experiments reproducible and the telemetry assertions testable.
+//!
+//! * [`Span`]s carry a monotonically-assigned [`RequestId`], nest via
+//!   parent links and are labelled with pipeline stages
+//!   ([`stage::REGISTRY_LOOKUP`], [`stage::TOKEN_SIGN`], …).
+//! * The [`TelemetryHub`] aggregates finished spans into per-stage
+//!   log-scale-bucket [`Histogram`]s (p50/p95/p99) and keeps pipeline
+//!   [`Counters`].
+//! * Two exporters: a human-readable stage table
+//!   ([`TelemetryHub::render_stage_table`]) and JSON-lines traces
+//!   ([`TelemetryHub::export_jsonl`] / [`export::parse`]).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod histogram;
+pub mod hub;
+pub mod span;
+pub mod table;
+
+pub use gupster_netsim::SimTime;
+pub use histogram::Histogram;
+pub use hub::{CounterSnapshot, Counters, StageStats, TelemetryHub};
+pub use span::{single_rooted_tree, RequestId, Span, Tracer};
+
+/// Canonical stage labels of the referral pipeline. Free-form labels
+/// are accepted everywhere; these constants keep the instrumented
+/// crates and the experiment reports in agreement.
+pub mod stage {
+    /// The registry lookup pipeline (root of a registry-side trace).
+    pub const REGISTRY_LOOKUP: &str = "registry.lookup";
+    /// Matching the (rewritten) request against the coverage map.
+    pub const COVERAGE_MATCH: &str = "coverage.match";
+    /// The privacy shield's decision (PDP rule evaluation).
+    pub const POLICY_DECIDE: &str = "policy.decide";
+    /// Rewriting the request (narrowing + user-id injection).
+    pub const QUERY_REWRITE: &str = "query.rewrite";
+    /// Signing the rewritten query (HMAC).
+    pub const TOKEN_SIGN: &str = "token.sign";
+    /// Verifying a signed query at a data store.
+    pub const TOKEN_VERIFY: &str = "token.verify";
+    /// Fetching one fragment from a data store.
+    pub const STORE_FETCH: &str = "store.fetch";
+    /// Deep-unioning fetched fragments.
+    pub const XML_MERGE: &str = "xml.merge";
+    /// A result served from cache (zero-duration marker span).
+    pub const CACHE_HIT: &str = "cache.hit";
+    /// A cache miss falling through to the full pipeline.
+    pub const CACHE_MISS: &str = "cache.miss";
+    /// Client-side fetch-and-merge of a referral.
+    pub const FETCH_MERGE: &str = "fetch.merge";
+    /// Network time of the client↔registry lookup exchange.
+    pub const NET_LOOKUP: &str = "net.lookup";
+    /// Network time of fragment fetches (parallel fan-out).
+    pub const NET_FETCH: &str = "net.fetch";
+    /// Network time returning the merged result to the client.
+    pub const NET_RETURN: &str = "net.return";
+}

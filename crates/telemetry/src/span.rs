@@ -1,0 +1,279 @@
+//! Spans and the per-request [`Tracer`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use gupster_netsim::SimTime;
+
+use crate::hub::TelemetryHub;
+
+/// Identifier of one end-to-end request, assigned monotonically by the
+/// [`TelemetryHub`] that owns the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// One finished span: a labelled stage of a request, with simulated
+/// start/end instants relative to the request's own time zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The request this span belongs to.
+    pub request: RequestId,
+    /// Span id, unique within the request (0 is the root).
+    pub id: u64,
+    /// Parent span id; `None` exactly for the root span.
+    pub parent: Option<u64>,
+    /// Stage label (see [`crate::stage`]).
+    pub stage: String,
+    /// Start instant (request-relative simulated time).
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// The span's duration.
+    pub fn duration(&self) -> SimTime {
+        SimTime(self.end.0.saturating_sub(self.start.0))
+    }
+}
+
+/// True when `spans` (all of one request) form a single rooted tree:
+/// unique ids, exactly one root, and every parent link resolving to a
+/// span in the set. This is the shape the trace exporter guarantees.
+pub fn single_rooted_tree(spans: &[Span]) -> bool {
+    if spans.is_empty() {
+        return false;
+    }
+    let req = spans[0].request;
+    let mut ids = std::collections::BTreeSet::new();
+    for s in spans {
+        if s.request != req || !ids.insert(s.id) {
+            return false;
+        }
+    }
+    let mut roots = 0;
+    for s in spans {
+        match s.parent {
+            None => roots += 1,
+            Some(p) => {
+                if !ids.contains(&p) || p == s.id {
+                    return false;
+                }
+            }
+        }
+    }
+    roots == 1
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    stage: String,
+    start: SimTime,
+}
+
+/// Builds the span tree of one request.
+///
+/// The tracer keeps a **cursor** in request-relative simulated time.
+/// [`Tracer::enter`] opens a child span at the cursor,
+/// [`Tracer::charge`] advances the cursor (attributing the elapsed time
+/// to every open span), and [`Tracer::exit`] closes the innermost span
+/// and feeds its duration into the hub's per-stage histogram. Dropping
+/// the tracer finishes the trace: open spans are closed and the whole
+/// tree is handed to the [`TelemetryHub`].
+#[derive(Debug)]
+pub struct Tracer {
+    hub: Arc<TelemetryHub>,
+    request: RequestId,
+    cursor: SimTime,
+    next_id: u64,
+    stack: Vec<OpenSpan>,
+    done: Vec<Span>,
+}
+
+impl Tracer {
+    pub(crate) fn new(hub: Arc<TelemetryHub>, request: RequestId, root_stage: &str) -> Self {
+        let mut t = Tracer {
+            hub,
+            request,
+            cursor: SimTime::ZERO,
+            next_id: 0,
+            stack: Vec::new(),
+            done: Vec::new(),
+        };
+        t.enter(root_stage);
+        t
+    }
+
+    /// The request this tracer traces.
+    pub fn request(&self) -> RequestId {
+        self.request
+    }
+
+    /// The hub this tracer reports to (for bumping counters mid-trace).
+    pub fn hub(&self) -> &Arc<TelemetryHub> {
+        &self.hub
+    }
+
+    /// The cursor: request-relative simulated time charged so far.
+    pub fn now(&self) -> SimTime {
+        self.cursor
+    }
+
+    /// Opens a child span under the innermost open span.
+    pub fn enter(&mut self, stage: &str) {
+        let parent = self.stack.last().map(|s| s.id);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stack.push(OpenSpan { id, parent, stage: stage.to_string(), start: self.cursor });
+    }
+
+    /// Advances the cursor by `dt`, attributing the time to every open
+    /// span (the innermost is the one whose *exclusive* time grows).
+    pub fn charge(&mut self, dt: SimTime) {
+        self.cursor += dt;
+    }
+
+    /// Closes the innermost open span. The root span can only be closed
+    /// by finishing the tracer (dropping it), so unbalanced `exit`s are
+    /// caught early instead of corrupting the tree.
+    ///
+    /// # Panics
+    /// When only the root span is open.
+    pub fn exit(&mut self) {
+        assert!(self.stack.len() > 1, "Tracer::exit would close the root span");
+        self.close_innermost();
+    }
+
+    /// Convenience: a leaf span of the given stage and duration.
+    pub fn span(&mut self, stage: &str, cost: SimTime) {
+        self.enter(stage);
+        self.charge(cost);
+        self.exit();
+    }
+
+    /// A zero-duration marker span (e.g. [`crate::stage::CACHE_HIT`]).
+    pub fn mark(&mut self, stage: &str) {
+        self.span(stage, SimTime::ZERO);
+    }
+
+    fn close_innermost(&mut self) {
+        let open = self.stack.pop().expect("close_innermost on empty stack");
+        let span = Span {
+            request: self.request,
+            id: open.id,
+            parent: open.parent,
+            stage: open.stage,
+            start: open.start,
+            end: self.cursor,
+        };
+        self.hub.record_stage(&span.stage, span.duration());
+        self.done.push(span);
+    }
+}
+
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        while !self.stack.is_empty() {
+            self.close_innermost();
+        }
+        // Parents close after their children, so sort by id for a
+        // stable, root-first export order.
+        self.done.sort_by_key(|s| s.id);
+        self.hub.absorb(std::mem::take(&mut self.done));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::TelemetryHub;
+
+    fn hub() -> Arc<TelemetryHub> {
+        Arc::new(TelemetryHub::new())
+    }
+
+    #[test]
+    fn request_ids_are_monotonic() {
+        let h = hub();
+        let a = h.tracer("root").request();
+        let b = h.tracer("root").request();
+        let c = h.tracer("root").request();
+        assert!(a.0 < b.0 && b.0 < c.0);
+    }
+
+    #[test]
+    fn nesting_and_ordering() {
+        let h = hub();
+        {
+            let mut t = h.tracer("registry.lookup");
+            t.span("policy.decide", SimTime::micros(5));
+            t.enter("coverage.match");
+            t.charge(SimTime::micros(3));
+            t.span("query.rewrite", SimTime::micros(2));
+            t.exit();
+            t.span("token.sign", SimTime::micros(20));
+        }
+        let spans = h.spans();
+        assert_eq!(spans.len(), 5);
+        assert!(single_rooted_tree(&spans));
+        // Root first, ids in creation order.
+        assert_eq!(spans[0].stage, "registry.lookup");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].duration(), SimTime::micros(30));
+        // query.rewrite nests under coverage.match.
+        let rewrite = spans.iter().find(|s| s.stage == "query.rewrite").unwrap();
+        let coverage = spans.iter().find(|s| s.stage == "coverage.match").unwrap();
+        assert_eq!(rewrite.parent, Some(coverage.id));
+        assert_eq!(coverage.duration(), SimTime::micros(5));
+        assert_eq!(rewrite.start, SimTime::micros(8));
+        // token.sign starts after coverage.match ends.
+        let sign = spans.iter().find(|s| s.stage == "token.sign").unwrap();
+        assert_eq!(sign.start, SimTime::micros(10));
+        assert_eq!(sign.end, SimTime::micros(30));
+    }
+
+    #[test]
+    fn marker_spans_have_zero_duration() {
+        let h = hub();
+        {
+            let mut t = h.tracer("cache.fetch");
+            t.mark("cache.hit");
+        }
+        let spans = h.spans();
+        let hit = spans.iter().find(|s| s.stage == "cache.hit").unwrap();
+        assert_eq!(hit.duration(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "root span")]
+    fn exiting_root_panics() {
+        let h = hub();
+        let mut t = h.tracer("root");
+        t.exit();
+    }
+
+    #[test]
+    fn tree_checker_rejects_malformed() {
+        let s = |id, parent| Span {
+            request: RequestId(1),
+            id,
+            parent,
+            stage: "s".into(),
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+        };
+        assert!(single_rooted_tree(&[s(0, None), s(1, Some(0))]));
+        assert!(!single_rooted_tree(&[]));
+        assert!(!single_rooted_tree(&[s(0, None), s(1, None)]), "two roots");
+        assert!(!single_rooted_tree(&[s(0, None), s(2, Some(1))]), "dangling parent");
+        assert!(!single_rooted_tree(&[s(0, None), s(0, Some(0))]), "duplicate id");
+    }
+}

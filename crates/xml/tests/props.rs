@@ -1,61 +1,80 @@
-//! Property tests local to the XML crate: parser robustness (no panics
-//! on arbitrary input), escaping totality, and NodePath laws.
+//! Randomized invariant tests local to the XML crate: parser robustness
+//! (no panics on arbitrary input), escaping totality, and NodePath laws.
+//! Deterministic — see `gupster_rng::check`.
 
-use proptest::prelude::*;
-
+use gupster_rng::check::{self, cases};
+use gupster_rng::Rng;
 use gupster_xml::{parse, Element, NodePath};
 
-proptest! {
-    /// The parser must never panic, whatever bytes arrive (stores parse
-    /// fragments received from untrusted peers).
-    #[test]
-    fn parser_never_panics(input in ".{0,200}") {
+/// The parser must never panic, whatever bytes arrive (stores parse
+/// fragments received from untrusted peers).
+#[test]
+fn parser_never_panics() {
+    cases(256, 0x1ab1, |rng| {
+        let input = check::printable(rng, 0, 200);
         let _ = parse(&input);
-    }
+    });
+}
 
-    /// Fuzzing *around* valid documents: random single-byte mutations
-    /// either parse or error, but never panic, and a successful parse
-    /// never produces an element with an empty name.
-    #[test]
-    fn mutated_documents_never_panic(pos in 0usize..60, byte in 0u8..=255) {
+/// Fuzzing *around* valid documents: random single-byte mutations
+/// either parse or error, but never panic, and a successful parse
+/// never produces an element with an empty name.
+#[test]
+fn mutated_documents_never_panic() {
+    cases(512, 0x1ab2, |rng| {
         let base = r#"<user id="a"><book><item id="1"><n>Bob</n></item></book></user>"#;
         let mut bytes = base.as_bytes().to_vec();
+        let pos = rng.gen_range(0usize..60);
+        let byte = (rng.gen_range(0u32..=255)) as u8;
         if pos < bytes.len() {
             bytes[pos] = byte;
         }
         if let Ok(s) = String::from_utf8(bytes) {
             if let Ok(doc) = parse(&s) {
-                prop_assert!(!doc.name.is_empty());
+                assert!(!doc.name.is_empty());
             }
         }
-    }
+    });
+}
 
-    /// Attribute values with arbitrary printable content round-trip.
-    #[test]
-    fn attr_values_roundtrip(value in "[ -~]{0,40}") {
+/// Attribute values with arbitrary printable content round-trip.
+#[test]
+fn attr_values_roundtrip() {
+    cases(256, 0x1ab3, |rng| {
+        let value = check::printable(rng, 0, 40);
         let e = Element::new("e").with_attr("k", value.clone());
         let back = parse(&e.to_xml()).unwrap();
-        prop_assert_eq!(back.attr("k"), Some(value.as_str()));
-    }
+        assert_eq!(back.attr("k"), Some(value.as_str()));
+    });
+}
 
-    /// set_attr then attr is the identity; remove_attr removes.
-    #[test]
-    fn attr_store_laws(k in "[a-z]{1,8}", v1 in "[ -~]{0,10}", v2 in "[ -~]{0,10}") {
+/// set_attr then attr is the identity; remove_attr removes.
+#[test]
+fn attr_store_laws() {
+    cases(256, 0x1ab4, |rng| {
+        let k = check::lowercase(rng, 1, 8);
+        let v1 = check::printable(rng, 0, 10);
+        let v2 = check::printable(rng, 0, 10);
         let mut e = Element::new("x");
         e.set_attr(k.clone(), v1);
         e.set_attr(k.clone(), v2.clone());
-        prop_assert_eq!(e.attr(&k), Some(v2.as_str()));
-        prop_assert_eq!(e.attrs.len(), 1);
-        prop_assert_eq!(e.remove_attr(&k), Some(v2));
-        prop_assert_eq!(e.attr(&k), None);
-    }
+        assert_eq!(e.attr(&k), Some(v2.as_str()));
+        assert_eq!(e.attrs.len(), 1);
+        assert_eq!(e.remove_attr(&k), Some(v2));
+        assert_eq!(e.attr(&k), None);
+    });
+}
 
-    /// ensure() then resolve() round-trips for arbitrary keyed paths,
-    /// and is idempotent on the tree shape.
-    #[test]
-    fn nodepath_ensure_resolve(
-        segs in prop::collection::vec(("[a-z]{1,6}", prop::option::of("[a-z0-9]{1,4}")), 1..5)
-    ) {
+/// ensure() then resolve() round-trips for arbitrary keyed paths,
+/// and is idempotent on the tree shape.
+#[test]
+fn nodepath_ensure_resolve() {
+    cases(256, 0x1ab5, |rng| {
+        let segs = check::vec_of(rng, 1, 4, |r| {
+            let name = check::lowercase(r, 1, 6);
+            let key = r.gen_bool(0.5).then(|| check::alnum(r, 1, 4));
+            (name, key)
+        });
         let mut path = NodePath::root();
         for (name, key) in &segs {
             path = match key {
@@ -65,23 +84,28 @@ proptest! {
         }
         let mut tree = Element::new("root");
         path.ensure(&mut tree).set_text("payload");
-        prop_assert_eq!(path.resolve(&tree).unwrap().text(), "payload");
+        assert_eq!(path.resolve(&tree).unwrap().text(), "payload");
         let size_before = tree.subtree_size();
         path.ensure(&mut tree);
-        prop_assert_eq!(tree.subtree_size(), size_before, "ensure must be idempotent");
+        assert_eq!(tree.subtree_size(), size_before, "ensure must be idempotent");
         // And removal empties it.
-        prop_assert!(path.remove(&mut tree).is_ok());
-        prop_assert!(path.resolve(&tree).is_none());
-    }
+        assert!(path.remove(&mut tree).is_ok());
+        assert!(path.resolve(&tree).is_none());
+    });
+}
 
-    /// Deep text concatenation equals the sum of the parts.
-    #[test]
-    fn deep_text_is_document_order(t1 in "[a-z]{0,6}", t2 in "[a-z]{0,6}", t3 in "[a-z]{0,6}") {
+/// Deep text concatenation equals the sum of the parts.
+#[test]
+fn deep_text_is_document_order() {
+    cases(256, 0x1ab6, |rng| {
+        let t1 = check::lowercase(rng, 0, 6);
+        let t2 = check::lowercase(rng, 0, 6);
+        let t3 = check::lowercase(rng, 0, 6);
         let e = Element::new("a")
             .with_text(t1.clone())
             .with_child(Element::new("b").with_text(t2.clone()))
             .with_text(t3.clone());
-        prop_assert_eq!(e.deep_text(), format!("{t1}{t2}{t3}"));
-        prop_assert_eq!(e.text(), format!("{t1}{t3}"));
-    }
+        assert_eq!(e.deep_text(), format!("{t1}{t2}{t3}"));
+        assert_eq!(e.text(), format!("{t1}{t3}"));
+    });
 }

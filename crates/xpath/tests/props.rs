@@ -1,110 +1,118 @@
-//! Property tests local to the XPath crate: parser robustness, AST
-//! display/parse round trips including `//` and `*`, and containment
-//! partial-order sanity.
+//! Randomized invariant tests local to the XPath crate: parser
+//! robustness, AST display/parse round trips including `//` and `*`,
+//! and containment partial-order sanity. Deterministic — see
+//! `gupster_rng::check`.
 
-use proptest::prelude::*;
-
+use gupster_rng::check::{self, cases};
+use gupster_rng::{Rng, StdRng};
 use gupster_xpath::{contains, covers, may_overlap, Axis, LocStep, NameTest, Path, Predicate};
 
-fn arb_predicate() -> impl Strategy<Value = Predicate> {
-    prop_oneof![
-        ("[a-z]{1,4}", "[a-z0-9]{1,4}").prop_map(|(a, v)| Predicate::AttrEq(a, v)),
-        "[a-z]{1,4}".prop_map(Predicate::AttrExists),
-        ("[a-z]{1,4}", "[a-z0-9]{1,4}").prop_map(|(c, v)| Predicate::ChildEq(c, v)),
-        "[a-z]{1,4}".prop_map(Predicate::ChildExists),
-        (1usize..5).prop_map(Predicate::Position),
-    ]
-}
-
-fn arb_step(last: bool) -> impl Strategy<Value = LocStep> {
-    let axis = if last {
-        prop_oneof![
-            2 => Just(Axis::Child),
-            1 => Just(Axis::Descendant),
-            1 => Just(Axis::Attribute),
-        ]
-        .boxed()
-    } else {
-        prop_oneof![3 => Just(Axis::Child), 1 => Just(Axis::Descendant)].boxed()
-    };
-    let test = prop_oneof![
-        3 => "[a-z]{1,6}".prop_map(NameTest::Name),
-        1 => Just(NameTest::Any),
-    ];
-    (axis, test, prop::collection::vec(arb_predicate(), 0..3)).prop_map(|(axis, test, preds)| {
-        let predicates = if axis == Axis::Attribute { vec![] } else { preds };
-        LocStep { axis, test, predicates }
-    })
-}
-
-fn arb_path() -> impl Strategy<Value = Path> {
-    prop::collection::vec(arb_step(false), 1..4).prop_flat_map(|steps| {
-        arb_step(true).prop_map(move |last| {
-            let mut steps = steps.clone();
-            steps.push(last);
-            // '//@attr' is not in the fragment; demote to child axis.
-            if let Some(s) = steps.last_mut() {
-                if s.axis == Axis::Attribute {
-                    // fine: display uses '/@name'
-                }
-            }
-            Path { steps }
-        })
-    })
-}
-
-proptest! {
-    /// The parser must never panic on arbitrary input.
-    #[test]
-    fn parser_never_panics(input in ".{0,80}") {
-        let _ = Path::parse(&input);
+fn arb_predicate(rng: &mut StdRng) -> Predicate {
+    match rng.gen_range(0u32..5) {
+        0 => Predicate::AttrEq(check::lowercase(rng, 1, 4), check::alnum(rng, 1, 4)),
+        1 => Predicate::AttrExists(check::lowercase(rng, 1, 4)),
+        2 => Predicate::ChildEq(check::lowercase(rng, 1, 4), check::alnum(rng, 1, 4)),
+        3 => Predicate::ChildExists(check::lowercase(rng, 1, 4)),
+        _ => Predicate::Position(rng.gen_range(1usize..5)),
     }
+}
 
-    /// Display → parse is the identity on generated ASTs.
-    #[test]
-    fn display_parse_roundtrip(p in arb_path()) {
+fn arb_step(rng: &mut StdRng, last: bool) -> LocStep {
+    let axis = if last {
+        match rng.gen_range(0u32..4) {
+            0 | 1 => Axis::Child,
+            2 => Axis::Descendant,
+            _ => Axis::Attribute,
+        }
+    } else if rng.gen_range(0u32..4) < 3 {
+        Axis::Child
+    } else {
+        Axis::Descendant
+    };
+    let test = if rng.gen_range(0u32..4) < 3 {
+        NameTest::Name(check::lowercase(rng, 1, 6))
+    } else {
+        NameTest::Any
+    };
+    let preds = check::vec_of(rng, 0, 2, arb_predicate);
+    let predicates = if axis == Axis::Attribute { vec![] } else { preds };
+    LocStep { axis, test, predicates }
+}
+
+fn arb_path(rng: &mut StdRng) -> Path {
+    let mut steps = check::vec_of(rng, 1, 3, |r| arb_step(r, false));
+    steps.push(arb_step(rng, true));
+    Path { steps }
+}
+
+/// The parser must never panic on arbitrary input.
+#[test]
+fn parser_never_panics() {
+    cases(512, 0xa7_01, |rng| {
+        let input = check::printable(rng, 0, 80);
+        let _ = Path::parse(&input);
+    });
+}
+
+/// Display → parse is the identity on generated ASTs.
+#[test]
+fn display_parse_roundtrip() {
+    cases(512, 0xa7_02, |rng| {
+        let p = arb_path(rng);
         let s = p.to_string();
         let back = Path::parse(&s).unwrap_or_else(|e| panic!("reparse {s}: {e}"));
-        prop_assert_eq!(back, p);
-    }
+        assert_eq!(back, p);
+    });
+}
 
-    /// Containment is reflexive, and both covers/overlap are consistent
-    /// with it.
-    #[test]
-    fn partial_order_sanity(p in arb_path(), q in arb_path()) {
-        prop_assert!(contains(&p, &p));
-        prop_assert!(covers(&p, &p));
-        prop_assert!(may_overlap(&p, &p));
+/// Containment is reflexive, and both covers/overlap are consistent
+/// with it.
+#[test]
+fn partial_order_sanity() {
+    cases(512, 0xa7_03, |rng| {
+        let p = arb_path(rng);
+        let q = arb_path(rng);
+        assert!(contains(&p, &p));
+        assert!(covers(&p, &p));
+        assert!(may_overlap(&p, &p));
         if contains(&p, &q) {
             // p ⊑ q implies q's subtree covers p's nodes.
-            prop_assert!(covers(&q, &p), "p={p} q={q}");
-            prop_assert!(may_overlap(&p, &q), "p={p} q={q}");
+            assert!(covers(&q, &p), "p={p} q={q}");
+            assert!(may_overlap(&p, &q), "p={p} q={q}");
         }
         if covers(&q, &p) {
-            prop_assert!(may_overlap(&p, &q), "p={p} q={q}");
+            assert!(may_overlap(&p, &q), "p={p} q={q}");
         }
-    }
+    });
+}
 
-    /// Adding a predicate never enlarges the selected set: p' ⊑ p.
-    #[test]
-    fn predicates_only_narrow(p in arb_path(), pred in arb_predicate()) {
+/// Adding a predicate never enlarges the selected set: p' ⊑ p.
+#[test]
+fn predicates_only_narrow() {
+    cases(512, 0xa7_04, |rng| {
+        let p = arb_path(rng);
+        let pred = arb_predicate(rng);
         let mut narrowed = p.clone();
         if let Some(step) = narrowed.steps.first_mut() {
             if step.axis != Axis::Attribute {
                 step.predicates.push(pred);
-                prop_assert!(contains(&narrowed, &p), "narrowed={narrowed} p={p}");
+                assert!(contains(&narrowed, &p), "narrowed={narrowed} p={p}");
             }
         }
-    }
+    });
+}
 
-    /// Joining paths adds lengths and preserves the prefix's steps.
-    #[test]
-    fn join_is_concatenation(a in arb_path(), b in arb_path()) {
+/// Joining paths adds lengths and preserves the prefix's steps.
+#[test]
+fn join_is_concatenation() {
+    cases(512, 0xa7_05, |rng| {
+        let a = arb_path(rng);
+        let b = arb_path(rng);
         // Only join when `a` doesn't end in an attribute step.
         if !a.targets_attribute() {
             let j = a.join(&b);
-            prop_assert_eq!(j.len(), a.len() + b.len());
-            prop_assert_eq!(&j.steps[..a.len()], &a.steps[..]);
+            assert_eq!(j.len(), a.len() + b.len());
+            assert_eq!(&j.steps[..a.len()], &a.steps[..]);
         }
-    }
+    });
 }
