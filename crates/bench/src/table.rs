@@ -2,8 +2,18 @@
 
 /// Renders a titled table with aligned columns.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!();
-    println!("== {title} ==");
+    print!("{}", render_table(title, headers, rows));
+}
+
+/// [`print_table`], but returned as a string — experiments that must
+/// produce byte-identical output across same-seed runs render through
+/// this so tests can compare the exact text.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::new();
+    let _ = writeln!(out);
+    let _ = writeln!(out, "== {title} ==");
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -12,19 +22,20 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let line = |cells: Vec<String>| {
+    let mut line = |cells: Vec<String>| {
         let parts: Vec<String> = cells
             .iter()
             .enumerate()
             .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
             .collect();
-        println!("  {}", parts.join("  "));
+        let _ = writeln!(out, "  {}", parts.join("  ").trim_end());
     };
     line(headers.iter().map(|h| h.to_string()).collect());
     line(widths.iter().map(|w| "-".repeat(*w)).collect());
     for row in rows {
         line(row.clone());
     }
+    out
 }
 
 /// Formats a float with 2 decimals.

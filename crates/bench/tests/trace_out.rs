@@ -11,11 +11,13 @@ use gupster_telemetry::{export, single_rooted_tree, Span};
 fn traced_experiments_write_rooted_trees() {
     let path = std::env::temp_dir().join(format!("gupster-traces-{}.jsonl", std::process::id()));
     experiments::set_trace_out(path.clone());
-    // The three instrumented experiments, in one process so they share
-    // the sink (set_trace_out is first-call-wins).
+    // The instrumented experiments, in one process so they share the
+    // sink (set_trace_out is first-call-wins). e15 contributes requests
+    // that retried and fell back under injected faults.
     assert!(experiments::run("e2"));
     assert!(experiments::run("e5"));
     assert!(experiments::run("e14"));
+    assert!(experiments::run("e15"));
 
     let text = std::fs::read_to_string(&path).expect("trace file written");
     let spans = export::parse(&text).expect("every line parses");
@@ -33,6 +35,39 @@ fn traced_experiments_write_rooted_trees() {
             "request {request} is not a single rooted tree ({} spans)",
             spans.len()
         );
+    }
+
+    // The resilience layer's contract: a request that retried or fell
+    // back still exports as ONE rooted tree, with its backoff waits and
+    // every pattern attempt nested under the `resilience.request` root.
+    let degraded: Vec<&Vec<Span>> = by_request
+        .values()
+        .filter(|spans| {
+            spans.iter().any(|s| {
+                s.stage == gupster_telemetry::stage::RETRY_BACKOFF
+                    || s.stage == gupster_telemetry::stage::FALLBACK
+            })
+        })
+        .collect();
+    assert!(
+        !degraded.is_empty(),
+        "e15's fault sweep must export at least one retried/fallback request"
+    );
+    for spans in degraded {
+        let root = spans.iter().find(|s| s.parent.is_none()).expect("rooted");
+        assert_eq!(root.stage, gupster_telemetry::stage::RESILIENCE_REQUEST);
+        for s in spans.iter().filter(|s| {
+            s.stage == gupster_telemetry::stage::RETRY_BACKOFF
+                || s.stage == gupster_telemetry::stage::FALLBACK
+                || s.stage.starts_with("pattern.")
+        }) {
+            assert_eq!(
+                s.parent,
+                Some(root.id),
+                "{} must nest directly under the resilience root, not float ({s:?})",
+                s.stage
+            );
+        }
     }
     let _ = std::fs::remove_file(&path);
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use gupster_netsim::{NetError, SimTime};
+
 /// Errors surfaced by the GUPster server and client helpers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GupsterError {
@@ -25,6 +27,32 @@ pub enum GupsterError {
     Token(String),
     /// Fragments could not be merged.
     Merge(String),
+    /// A simulated network link was down when a request leg crossed it.
+    LinkDown {
+        /// Sending node label.
+        from: String,
+        /// Receiving node label.
+        to: String,
+    },
+    /// A data store (or the node hosting it) was offline.
+    StoreUnavailable(String),
+    /// Several stores cover the request but none can take the role the
+    /// pattern requires (e.g. no recruiting-capable executor) — the
+    /// match is ambiguous and picking one silently would be wrong.
+    AmbiguousCoverage {
+        /// The request path.
+        path: String,
+        /// The candidate stores, in referral order.
+        candidates: Vec<String>,
+    },
+    /// The request's deadline budget ran out before any rung of the
+    /// fallback ladder (or the stale cache) could answer.
+    DeadlineExceeded {
+        /// Simulated time consumed when the request was abandoned.
+        elapsed: SimTime,
+        /// The budget that was exceeded.
+        budget: SimTime,
+    },
 }
 
 impl fmt::Display for GupsterError {
@@ -39,8 +67,30 @@ impl fmt::Display for GupsterError {
             GupsterError::Store(e) => write!(f, "data store error: {e}"),
             GupsterError::Token(e) => write!(f, "token error: {e}"),
             GupsterError::Merge(e) => write!(f, "merge error: {e}"),
+            GupsterError::LinkDown { from, to } => write!(f, "link down: {from} ↮ {to}"),
+            GupsterError::StoreUnavailable(s) => write!(f, "store unavailable: {s}"),
+            GupsterError::AmbiguousCoverage { path, candidates } => write!(
+                f,
+                "ambiguous coverage for {path}: no capable executor among [{}]",
+                candidates.join(", ")
+            ),
+            GupsterError::DeadlineExceeded { elapsed, budget } => {
+                write!(f, "deadline exceeded: {elapsed} spent of a {budget} budget")
+            }
         }
     }
 }
 
 impl std::error::Error for GupsterError {}
+
+impl From<NetError> for GupsterError {
+    fn from(e: NetError) -> Self {
+        match e {
+            NetError::LinkDown { from, to } => GupsterError::LinkDown { from, to },
+            // A dark node is indistinguishable from a dead store to the
+            // requester — surface it as the store-level failure the
+            // resilience ladder reacts to.
+            NetError::NodeOffline { node } => GupsterError::StoreUnavailable(node),
+        }
+    }
+}

@@ -19,6 +19,9 @@
 //!   converged network with full latency/byte accounting;
 //! * [`subs`] — push subscriptions vs. polling (§5.2);
 //! * [`cache`] — result caching with invalidation-on-update (§5.3);
+//! * [`resilience`] — deadline budgets, deterministic retry/backoff and
+//!   the referral → chaining → recruiting → stale-cache degradation
+//!   ladder (Req. 12 availability);
 //! * [`mdm`] — centralized vs. user-distributed (white pages, listed or
 //!   unlisted) vs. hierarchical meta-data management (§5.1.2).
 
@@ -35,6 +38,7 @@ pub mod patterns;
 pub mod provenance;
 mod referral;
 mod registry;
+pub mod resilience;
 mod sha256;
 pub mod subs;
 mod token;
@@ -46,5 +50,6 @@ pub use provenance::{Disclosure, ProvenanceLog};
 pub use error::GupsterError;
 pub use referral::{Referral, ReferralEntry};
 pub use registry::{Gupster, LookupOutcome, RegistryStats};
+pub use resilience::{ResilientExecutor, ResilientRun, RetryPolicy, ServedVia};
 pub use sha256::{hmac_sha256, sha256_hex};
 pub use token::{SignedQuery, Signer, TokenError};

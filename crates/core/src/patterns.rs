@@ -125,6 +125,32 @@ impl<'a> PatternExecutor<'a> {
         run
     }
 
+    /// Runs one pattern nested under a caller-owned trace — the
+    /// resilience layer uses this so every retry and fallback attempt
+    /// of one request shares a single rooted span tree. The caller owns
+    /// `begin_request`/`end_request` on the network.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_traced(
+        &self,
+        pattern: QueryPattern,
+        gupster: &mut Gupster,
+        pool: &StorePool,
+        owner: &str,
+        request: &Path,
+        requester: &str,
+        time: WeekTime,
+        now: u64,
+        keys: &MergeKeys,
+        tracer: &mut Tracer,
+    ) -> Result<PatternRun, GupsterError> {
+        tracer.enter(pattern.stage());
+        let run = self.run_pattern(
+            pattern, gupster, pool, owner, request, requester, time, now, keys, tracer,
+        );
+        tracer.exit();
+        run
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn run_pattern(
         &self,
@@ -168,7 +194,7 @@ impl<'a> PatternExecutor<'a> {
             QueryPattern::Referral => {
                 // Lookup RPC returns the referral…
                 let t0 = journey.elapsed();
-                journey.rpc(self.net, self.client, self.gupster_node, request_bytes, referral.byte_size());
+                journey.try_rpc(self.net, self.client, self.gupster_node, request_bytes, referral.byte_size())?;
                 tracer.span(stage::NET_LOOKUP, leg(&journey, t0));
                 // …then the client fetches all fragments in parallel…
                 let calls: Vec<(NodeId, usize, usize)> = frag_bytes
@@ -176,7 +202,7 @@ impl<'a> PatternExecutor<'a> {
                     .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
                     .collect();
                 let t0 = journey.elapsed();
-                journey.parallel_rpcs(self.net, self.client, &calls);
+                journey.try_parallel_rpcs(self.net, self.client, &calls)?;
                 tracer.span(stage::NET_FETCH, leg(&journey, t0));
                 // …and merges locally.
                 let result = fetch_merge_traced(pool, referral, &signer, now, keys, tracer)?;
@@ -187,39 +213,48 @@ impl<'a> PatternExecutor<'a> {
                 // Client sends the request; GUPster fans out, merges,
                 // returns the result.
                 let t0 = journey.elapsed();
-                journey.send(self.net, self.client, self.gupster_node, request_bytes);
+                journey.try_send(self.net, self.client, self.gupster_node, request_bytes)?;
                 tracer.span(stage::NET_LOOKUP, leg(&journey, t0));
                 let calls: Vec<(NodeId, usize, usize)> = frag_bytes
                     .iter()
                     .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
                     .collect();
                 let t0 = journey.elapsed();
-                journey.parallel_rpcs(self.net, self.gupster_node, &calls);
+                journey.try_parallel_rpcs(self.net, self.gupster_node, &calls)?;
                 tracer.span(stage::NET_FETCH, leg(&journey, t0));
                 let result = fetch_merge_traced(pool, referral, &signer, now, keys, tracer)?;
                 journey.compute(merge_cost(total_frag_bytes));
                 let result_bytes: usize = result.iter().map(Element::byte_size).sum();
                 let t0 = journey.elapsed();
-                journey.send(self.net, self.gupster_node, self.client, result_bytes);
+                journey.try_send(self.net, self.gupster_node, self.client, result_bytes)?;
                 tracer.span(stage::NET_RETURN, leg(&journey, t0));
                 (result, result_bytes, total_frag_bytes)
             }
             QueryPattern::Recruiting => {
                 // Pick the first capable store as the executor; the
-                // request migrates there.
-                let executor = entries
-                    .iter()
-                    .find(|e| {
-                        pool.get(&e.store)
-                            .map(|s| s.capabilities().can_chain)
-                            .unwrap_or(false)
-                    })
-                    .map(|e| e.store.clone())
-                    .unwrap_or_else(|| entries[0].store.clone());
+                // request migrates there. A single fragment needs no
+                // merging, so any store can execute it; with several
+                // fragments and no chain-capable store the match is
+                // ambiguous — silently recruiting an incapable store
+                // would produce a partial answer, so fail typed instead.
+                let executor = match entries.iter().find(|e| {
+                    pool.get(&e.store)
+                        .map(|s| s.capabilities().can_chain)
+                        .unwrap_or(false)
+                }) {
+                    Some(e) => e.store.clone(),
+                    None if entries.len() == 1 => entries[0].store.clone(),
+                    None => {
+                        return Err(GupsterError::AmbiguousCoverage {
+                            path: request.to_string(),
+                            candidates: entries.iter().map(|e| e.store.to_string()).collect(),
+                        })
+                    }
+                };
                 let exec_node = self.store_node(&executor)?;
                 let t0 = journey.elapsed();
-                journey.send(self.net, self.client, self.gupster_node, request_bytes);
-                journey.send(self.net, self.gupster_node, exec_node, referral.byte_size());
+                journey.try_send(self.net, self.client, self.gupster_node, request_bytes)?;
+                journey.try_send(self.net, self.gupster_node, exec_node, referral.byte_size())?;
                 tracer.span(stage::NET_LOOKUP, leg(&journey, t0));
                 // Executor fetches the *other* fragments in parallel.
                 let calls: Vec<(NodeId, usize, usize)> = frag_bytes
@@ -228,13 +263,13 @@ impl<'a> PatternExecutor<'a> {
                     .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
                     .collect();
                 let t0 = journey.elapsed();
-                journey.parallel_rpcs(self.net, exec_node, &calls);
+                journey.try_parallel_rpcs(self.net, exec_node, &calls)?;
                 tracer.span(stage::NET_FETCH, leg(&journey, t0));
                 let result = fetch_merge_traced(pool, referral, &signer, now, keys, tracer)?;
                 journey.compute(merge_cost(total_frag_bytes));
                 let result_bytes: usize = result.iter().map(Element::byte_size).sum();
                 let t0 = journey.elapsed();
-                journey.send(self.net, exec_node, self.client, result_bytes);
+                journey.try_send(self.net, exec_node, self.client, result_bytes)?;
                 tracer.span(stage::NET_RETURN, leg(&journey, t0));
                 (result, result_bytes, 0)
             }
@@ -434,9 +469,10 @@ mod tests {
     }
 
     #[test]
-    fn recruiting_falls_back_when_no_store_can_chain() {
-        // Replace the stores with chain-incapable relational adapters;
-        // the executor picks the first entry instead of failing.
+    fn recruiting_rejects_ambiguous_chain_incapable_coverage() {
+        // Two chain-incapable relational adapters cover the request:
+        // neither can merge the other's fragment, so recruiting either
+        // would silently drop data. The executor must fail typed.
         let mut net = Network::new(5);
         let client = net.add_node("phone", gupster_netsim::Domain::Client);
         let gupster_node = net.add_node("gupster.net", gupster_netsim::Domain::Internet);
@@ -470,6 +506,53 @@ mod tests {
         nodes.insert(StoreId::new("gup.a.com"), a_node);
         nodes.insert(StoreId::new("gup.b.com"), b_node);
         let exec = PatternExecutor { net: &net, client, gupster_node, store_nodes: nodes };
+        let err = exec
+            .execute(
+                QueryPattern::Recruiting,
+                &mut gupster,
+                &pool,
+                "alice",
+                &p("/user[@id='alice']/address-book"),
+                "alice",
+                WeekTime::at(0, 12, 0),
+                0,
+                &MergeKeys::new().with_key("item", "id"),
+            )
+            .unwrap_err();
+        match err {
+            GupsterError::AmbiguousCoverage { path, candidates } => {
+                assert!(path.contains("address-book"), "{path}");
+                assert_eq!(candidates, vec!["gup.a.com".to_string(), "gup.b.com".to_string()]);
+            }
+            other => panic!("expected AmbiguousCoverage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recruiting_accepts_single_chain_incapable_fragment() {
+        // One fragment needs no merging, so even a chain-incapable
+        // adapter can execute the recruited request.
+        let mut net = Network::new(5);
+        let client = net.add_node("phone", gupster_netsim::Domain::Client);
+        let gupster_node = net.add_node("gupster.net", gupster_netsim::Domain::Internet);
+        let a_node = net.add_node("gup.a.com", gupster_netsim::Domain::Internet);
+        let mut gupster = Gupster::new(gup_schema(), b"k");
+        let mut pool = StorePool::new();
+        let mut adapter = gupster_store::RelationalAdapter::new("gup.a.com");
+        adapter.add_subscriber("alice", "Alice", "908-555-0100");
+        adapter.add_contact("alice", "x", "C", "1-555");
+        assert!(!adapter.capabilities().can_chain);
+        pool.add(Box::new(adapter));
+        gupster
+            .register_component(
+                "alice",
+                p("/user[@id='alice']/address-book/item[@type='x']"),
+                StoreId::new("gup.a.com"),
+            )
+            .unwrap();
+        let mut nodes = HashMap::new();
+        nodes.insert(StoreId::new("gup.a.com"), a_node);
+        let exec = PatternExecutor { net: &net, client, gupster_node, store_nodes: nodes };
         let run = exec
             .execute(
                 QueryPattern::Recruiting,
@@ -483,12 +566,7 @@ mod tests {
                 &MergeKeys::new().with_key("item", "id"),
             )
             .unwrap();
-        // Both adapters locally number their contacts from 1, so the two
-        // books carry colliding item ids with different content — the
-        // deep union refuses to conflate them and both fragments are
-        // returned (reconciliation is gupster-sync's job, Req. 6). All
-        // the data is there either way.
         let items: usize = run.result.iter().map(|r| r.children_named("item").len()).sum();
-        assert_eq!(items, 2);
+        assert_eq!(items, 1);
     }
 }

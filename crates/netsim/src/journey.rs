@@ -8,7 +8,7 @@
 //! both compositions over a [`Network`].
 
 use crate::clock::SimTime;
-use crate::network::{Network, NodeId};
+use crate::network::{NetError, Network, NodeId};
 
 /// Wall-clock accumulator for a synchronous interaction.
 #[derive(Debug, Clone, Copy, Default)]
@@ -75,6 +75,65 @@ impl Journey {
         self.elapsed += branches.iter().copied().max().unwrap_or(SimTime::ZERO);
         self
     }
+
+    /// The absolute instant this journey has reached: the network's
+    /// clock plus the journey's elapsed time. Fault windows opening
+    /// mid-request are evaluated against this.
+    fn at(&self, net: &Network) -> SimTime {
+        net.now() + self.elapsed
+    }
+
+    /// Fault-aware one-way send: the journey observes an active fault
+    /// as a [`NetError`] instead of silently succeeding.
+    pub fn try_send(
+        &mut self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+    ) -> Result<&mut Self, NetError> {
+        let t = net.try_send_at(from, to, bytes, self.at(net))?;
+        self.elapsed += t;
+        Ok(self)
+    }
+
+    /// Fault-aware RPC. The response leg is evaluated at the instant
+    /// the request arrived, so a link dying mid-round-trip fails the
+    /// round trip.
+    pub fn try_rpc(
+        &mut self,
+        net: &Network,
+        from: NodeId,
+        to: NodeId,
+        req_bytes: usize,
+        resp_bytes: usize,
+    ) -> Result<&mut Self, NetError> {
+        let out = net.try_send_at(from, to, req_bytes, self.at(net))?;
+        let back = net.try_send_at(to, from, resp_bytes, self.at(net) + out)?;
+        self.elapsed += out + back;
+        Ok(self)
+    }
+
+    /// Fault-aware parallel fan-out: every call must be deliverable;
+    /// the first faulted branch fails the fan-out (calls already
+    /// attempted stay metered). Wall-clock advances by the slowest
+    /// successful branch only on success.
+    pub fn try_parallel_rpcs(
+        &mut self,
+        net: &Network,
+        from: NodeId,
+        calls: &[(NodeId, usize, usize)],
+    ) -> Result<&mut Self, NetError> {
+        let at = self.at(net);
+        let mut slowest = SimTime::ZERO;
+        for (to, req, resp) in calls {
+            let out = net.try_send_at(from, *to, *req, at)?;
+            let back = net.try_send_at(*to, from, *resp, at + out)?;
+            slowest = slowest.max(out + back);
+        }
+        self.elapsed += slowest;
+        Ok(self)
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +180,35 @@ mod tests {
         let mut par = Journey::start();
         par.parallel_rpcs(&n, c, &[(a, 0, 0), (b, 0, 0)]);
         assert!(par.elapsed() < seq.elapsed());
+    }
+
+    #[test]
+    fn try_paths_match_infallible_without_faults() {
+        let (n, c, a, b) = fixed_net();
+        let mut j = Journey::start();
+        j.try_rpc(&n, c, a, 0, 0).unwrap().try_send(&n, c, b, 0).unwrap();
+        j.try_parallel_rpcs(&n, c, &[(a, 0, 0), (b, 0, 0)]).unwrap();
+        // 20 + 30 + max(20, 60) = 110ms
+        assert_eq!(j.elapsed(), SimTime::millis(110));
+    }
+
+    #[test]
+    fn journey_observes_fault_windows_mid_request() {
+        let (n, c, a, b) = fixed_net();
+        // The c↔b link dies 25ms in: the first leg (c→a, done by 20ms)
+        // succeeds, the fan-out touching b at 20ms starts fine but its
+        // 30ms response leg lands inside the window — dropped.
+        n.install_faults(
+            crate::faults::FaultSchedule::new()
+                .link_down(c, b, SimTime::millis(25), SimTime::secs(1)),
+        );
+        let mut j = Journey::start();
+        j.try_rpc(&n, c, a, 0, 0).unwrap();
+        let err = j.try_parallel_rpcs(&n, c, &[(a, 0, 0), (b, 0, 0)]).unwrap_err();
+        assert!(matches!(err, crate::NetError::LinkDown { .. }), "{err:?}");
+        // Failed fan-out did not advance the journey.
+        assert_eq!(j.elapsed(), SimTime::millis(20));
+        assert_eq!(n.metrics().dropped, 1);
     }
 
     #[test]

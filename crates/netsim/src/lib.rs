@@ -12,7 +12,10 @@
 //! charge ([`LatencyModel`]). Synchronous interactions compose with
 //! [`Journey`] (sequential steps, parallel fan-outs — the selective
 //! reach-me aggregation of §2.2 is a parallel fan-out). Every call is
-//! metered in [`Metrics`].
+//! metered in [`Metrics`]. The [`faults`] module adds deterministic
+//! clock-driven fault injection: link flaps, partitions, latency spikes
+//! and node outages, observed by the fallible `try_*` send paths as
+//! [`NetError`]s.
 //!
 //! On top of the transport model sit the domain elements:
 //!
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 mod clock;
+pub mod faults;
 mod journey;
 mod link;
 mod metrics;
@@ -43,7 +47,8 @@ pub mod web;
 pub mod wireless;
 
 pub use clock::SimTime;
+pub use faults::{FaultKind, FaultRates, FaultSchedule, FaultWindow};
 pub use journey::Journey;
 pub use link::{Domain, LatencyModel};
 pub use metrics::Metrics;
-pub use network::{Network, Node, NodeId};
+pub use network::{NetError, Network, Node, NodeId};

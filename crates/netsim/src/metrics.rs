@@ -28,6 +28,8 @@ pub struct Metrics {
     pub messages: u64,
     /// Total payload bytes moved.
     pub bytes: u64,
+    /// Messages dropped by an active fault (see [`crate::faults`]).
+    pub dropped: u64,
     /// Total simulated transfer time accumulated across messages.
     pub total_latency: SimTime,
     /// Per (from-label, to-label) message counts.

@@ -1,14 +1,44 @@
 //! The network: nodes, links and metered message passing.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use std::sync::Mutex;
 
 use gupster_rng::{SeedableRng, StdRng};
 
 use crate::clock::SimTime;
+use crate::faults::{FaultKind, FaultSchedule};
 use crate::link::{Domain, LatencyModel};
 use crate::metrics::Metrics;
+
+/// Why a message could not be delivered (see [`crate::faults`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The link between the two nodes was down (flap or partition).
+    LinkDown {
+        /// Sending node label.
+        from: String,
+        /// Receiving node label.
+        to: String,
+    },
+    /// The destination (or source) node was dark.
+    NodeOffline {
+        /// The dark node's label.
+        node: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::LinkDown { from, to } => write!(f, "link down: {from} ↮ {to}"),
+            NetError::NodeOffline { node } => write!(f, "node offline: {node}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
 
 /// Identifier of a network node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,6 +73,10 @@ struct Inner {
     /// When set, sends are attributed to this request id so telemetry
     /// can reconstruct per-request hop lists.
     current_request: Option<u64>,
+    /// The global simulation clock fault windows are evaluated against.
+    now: SimTime,
+    /// The installed fault schedule (empty ⇒ nothing ever fails).
+    faults: FaultSchedule,
 }
 
 impl Network {
@@ -56,6 +90,8 @@ impl Network {
                 rng: StdRng::seed_from_u64(seed),
                 metrics: Metrics::default(),
                 current_request: None,
+                now: SimTime::ZERO,
+                faults: FaultSchedule::new(),
             }),
         }
     }
@@ -99,17 +135,113 @@ impl Network {
 
     /// Sends one message of `bytes` payload from `from` to `to`,
     /// returning its simulated latency and recording metrics.
+    ///
+    /// This path is **fault-oblivious**: link flaps and node outages
+    /// never drop the message (active latency spikes still apply).
+    /// Fault-aware callers use [`Network::try_send`] /
+    /// [`Network::try_send_at`] instead.
     pub fn send(&self, from: NodeId, to: NodeId, bytes: usize) -> SimTime {
+        match self.transmit(from, to, bytes, None) {
+            Ok(t) => t,
+            Err(_) => unreachable!("fault-oblivious send cannot fail"),
+        }
+    }
+
+    /// Fault-aware send, evaluated at the network's current clock
+    /// ([`Network::now`]). Returns the delivery latency, or the fault
+    /// that dropped the message.
+    pub fn try_send(&self, from: NodeId, to: NodeId, bytes: usize) -> Result<SimTime, NetError> {
+        let now = self.now();
+        self.transmit(from, to, bytes, Some(now))
+    }
+
+    /// Fault-aware send evaluated at absolute instant `at` — journeys
+    /// pass `now() + elapsed` so a fault window opening mid-request is
+    /// observed by the legs it covers and not the earlier ones.
+    pub fn try_send_at(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        at: SimTime,
+    ) -> Result<SimTime, NetError> {
+        self.transmit(from, to, bytes, Some(at))
+    }
+
+    /// The shared send body. `fault_check` carries the instant to
+    /// evaluate the fault schedule at; `None` means fault-oblivious
+    /// (latency spikes still apply, keyed to the current clock).
+    fn transmit(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        fault_check: Option<SimTime>,
+    ) -> Result<SimTime, NetError> {
         if from == to {
-            return SimTime::ZERO; // local call
+            return Ok(SimTime::ZERO); // local call
         }
         let model = self.model(from, to);
         let mut inner = self.lock();
-        let t = model.sample(bytes, &mut inner.rng);
+        let at = fault_check.unwrap_or(inner.now);
+        if let Some(check_at) = fault_check {
+            if let Some(kind) = inner.faults.blocked(check_at, from, to) {
+                let err = match kind {
+                    FaultKind::NodeOffline(n) => {
+                        NetError::NodeOffline { node: self.node(*n).label.clone() }
+                    }
+                    _ => NetError::LinkDown {
+                        from: self.node(from).label.clone(),
+                        to: self.node(to).label.clone(),
+                    },
+                };
+                inner.metrics.dropped += 1;
+                return Err(err);
+            }
+        }
+        let factor = inner.faults.latency_factor(at);
+        let t = model.sample(bytes, &mut inner.rng) * factor;
         let (fl, tl) = (self.node(from).label.clone(), self.node(to).label.clone());
         let req = inner.current_request;
         inner.metrics.record_for_request(&fl, &tl, bytes, t, req);
-        t
+        Ok(t)
+    }
+
+    /// Installs a fault schedule (replacing any previous one).
+    pub fn install_faults(&self, schedule: FaultSchedule) {
+        self.lock().faults = schedule;
+    }
+
+    /// Removes the fault schedule.
+    pub fn clear_faults(&self) {
+        self.lock().faults = FaultSchedule::new();
+    }
+
+    /// Runs a closure over the installed fault schedule.
+    pub fn with_faults<R>(&self, f: impl FnOnce(&FaultSchedule) -> R) -> R {
+        f(&self.lock().faults)
+    }
+
+    /// The global simulation clock (the instant fault windows are
+    /// evaluated against).
+    pub fn now(&self) -> SimTime {
+        self.lock().now
+    }
+
+    /// Moves the simulation clock to `t`.
+    pub fn set_now(&self, t: SimTime) {
+        self.lock().now = t;
+    }
+
+    /// Advances the simulation clock by `dt`.
+    pub fn advance(&self, dt: SimTime) {
+        self.lock().now += dt;
+    }
+
+    /// Whether `node` is dark at the current clock.
+    pub fn node_offline(&self, node: NodeId) -> bool {
+        let inner = self.lock();
+        inner.faults.node_offline_at(inner.now, node)
     }
 
     /// Attributes subsequent sends to `request` until
@@ -203,6 +335,77 @@ mod tests {
         assert_eq!(n.node_by_label("hlr.spcs.com"), Some(hlr));
         assert_eq!(n.node_by_label("ghost"), None);
         assert_eq!(n.node(hlr).domain, Domain::Wireless);
+    }
+
+    #[test]
+    fn try_send_observes_link_faults() {
+        let (n, hlr, msc, portal) = net();
+        n.install_faults(
+            crate::faults::FaultSchedule::new()
+                .link_down(hlr, msc, SimTime::millis(100), SimTime::millis(200)),
+        );
+        // Before the window: delivered.
+        n.set_now(SimTime::millis(50));
+        assert!(n.try_send(hlr, msc, 10).is_ok());
+        // Inside the window: dropped, metered as a drop.
+        n.set_now(SimTime::millis(150));
+        let err = n.try_send(hlr, msc, 10).unwrap_err();
+        assert!(matches!(err, NetError::LinkDown { .. }), "{err:?}");
+        assert_eq!(n.metrics().dropped, 1);
+        // Other links unaffected; fault-oblivious send unaffected.
+        assert!(n.try_send(hlr, portal, 10).is_ok());
+        let _ = n.send(hlr, msc, 10);
+        // After the window: delivered again.
+        n.set_now(SimTime::millis(250));
+        assert!(n.try_send(hlr, msc, 10).is_ok());
+    }
+
+    #[test]
+    fn try_send_observes_node_outage() {
+        let (n, hlr, msc, portal) = net();
+        n.install_faults(
+            crate::faults::FaultSchedule::new().node_offline(portal, SimTime::ZERO, SimTime::secs(1)),
+        );
+        let err = n.try_send(hlr, portal, 10).unwrap_err();
+        assert_eq!(err, NetError::NodeOffline { node: "gup.yahoo.com".into() });
+        assert!(n.node_offline(portal));
+        assert!(!n.node_offline(msc));
+        assert!(n.try_send(hlr, msc, 10).is_ok());
+        n.clear_faults();
+        assert!(n.try_send(hlr, portal, 10).is_ok());
+    }
+
+    #[test]
+    fn try_send_at_evaluates_mid_request_instants() {
+        let (n, hlr, _, portal) = net();
+        n.install_faults(
+            crate::faults::FaultSchedule::new()
+                .link_down(hlr, portal, SimTime::millis(100), SimTime::millis(200)),
+        );
+        assert!(n.try_send_at(hlr, portal, 10, SimTime::millis(90)).is_ok());
+        assert!(n.try_send_at(hlr, portal, 10, SimTime::millis(110)).is_err());
+    }
+
+    #[test]
+    fn latency_spike_multiplies_both_paths() {
+        let (mut n, hlr, msc, _) = net();
+        n.set_link(hlr, msc, LatencyModel::fixed(SimTime::millis(10)));
+        n.install_faults(
+            crate::faults::FaultSchedule::new().latency_spike(5, SimTime::ZERO, SimTime::secs(1)),
+        );
+        assert_eq!(n.send(hlr, msc, 0), SimTime::millis(50));
+        assert_eq!(n.try_send(hlr, msc, 0), Ok(SimTime::millis(50)));
+        n.set_now(SimTime::secs(2));
+        assert_eq!(n.send(hlr, msc, 0), SimTime::millis(10));
+    }
+
+    #[test]
+    fn clock_moves() {
+        let (n, _, _, _) = net();
+        assert_eq!(n.now(), SimTime::ZERO);
+        n.set_now(SimTime::millis(5));
+        n.advance(SimTime::millis(3));
+        assert_eq!(n.now(), SimTime::millis(8));
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub struct Counters {
     pub cache_misses: AtomicU64,
     /// Signature verifications performed by data stores.
     pub signature_verifications: AtomicU64,
+    /// Retry attempts issued by the resilience layer.
+    pub retries: AtomicU64,
+    /// Fallbacks to a lower rung of the degradation ladder.
+    pub fallbacks: AtomicU64,
+    /// Requests that exhausted their deadline budget.
+    pub deadline_exceeded: AtomicU64,
+    /// Results served from the stale cache after every rung failed.
+    pub stale_serves: AtomicU64,
 }
 
 /// A point-in-time copy of the [`Counters`].
@@ -43,6 +51,14 @@ pub struct CounterSnapshot {
     pub cache_misses: u64,
     /// Signature verifications performed by data stores.
     pub signature_verifications: u64,
+    /// Retry attempts issued by the resilience layer.
+    pub retries: u64,
+    /// Fallbacks to a lower rung of the degradation ladder.
+    pub fallbacks: u64,
+    /// Requests that exhausted their deadline budget.
+    pub deadline_exceeded: u64,
+    /// Results served from the stale cache after every rung failed.
+    pub stale_serves: u64,
 }
 
 impl Counters {
@@ -54,6 +70,10 @@ impl Counters {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             signature_verifications: self.signature_verifications.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            stale_serves: self.stale_serves.load(Ordering::Relaxed),
         }
     }
 
@@ -64,6 +84,10 @@ impl Counters {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.signature_verifications.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.fallbacks.store(0, Ordering::Relaxed);
+        self.deadline_exceeded.store(0, Ordering::Relaxed);
+        self.stale_serves.store(0, Ordering::Relaxed);
     }
 }
 

@@ -65,4 +65,14 @@ pub mod stage {
     pub const NET_FETCH: &str = "net.fetch";
     /// Network time returning the merged result to the client.
     pub const NET_RETURN: &str = "net.return";
+    /// Root span of a resilient request (deadline + retry + fallback).
+    pub const RESILIENCE_REQUEST: &str = "resilience.request";
+    /// Deterministic backoff wait before a retry attempt.
+    pub const RETRY_BACKOFF: &str = "resilience.backoff";
+    /// Fallback to the next rung of the degradation ladder (marker).
+    pub const FALLBACK: &str = "resilience.fallback";
+    /// A stale-cache serve after every rung failed (marker).
+    pub const STALE_SERVE: &str = "resilience.stale";
+    /// A request abandoned on deadline-budget exhaustion (marker).
+    pub const DEADLINE_EXCEEDED: &str = "resilience.deadline";
 }

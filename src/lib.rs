@@ -19,5 +19,6 @@ pub use gupster_policy as policy;
 pub use gupster_schema as schema;
 pub use gupster_store as store;
 pub use gupster_sync as sync;
+pub use gupster_telemetry as telemetry;
 pub use gupster_xml as xml;
 pub use gupster_xpath as xpath;
