@@ -1,0 +1,140 @@
+//! The machine-readable benchmark artifact (`BENCH_registry.json`).
+//!
+//! E16 writes one comparison row per line; the `bench_compare` binary
+//! reads two such files (a checked-in baseline and a fresh run) and
+//! fails the build when the *simulated* referral-path throughput
+//! regresses. The format is deliberately line-oriented JSON — the
+//! workspace is dependency-free, so both sides use the hand-rolled
+//! writer/scanner here instead of a serde stack.
+//!
+//! Only the `*_sim_ops` columns participate in the CI gate: simulated
+//! ops/sec is derived from the deterministic stage cost model (µs per
+//! entry/candidate examined), so it is byte-identical across machines.
+//! Wall-clock columns are informative only.
+
+use std::fmt::Write as _;
+
+/// One benchmark comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// What was measured: `coverage`, `policy` or `pipeline`.
+    pub kind: String,
+    /// The sweep position: registered components (coverage/pipeline) or
+    /// provisioned rules (policy).
+    pub scale: u64,
+    /// Simulated ops/sec of the naive scan (0 when not measured).
+    pub naive_sim_ops: f64,
+    /// Simulated ops/sec of the indexed fast path.
+    pub indexed_sim_ops: f64,
+    /// Wall-clock ops/sec of the naive scan (0 when not measured).
+    pub naive_wall_ops: f64,
+    /// Wall-clock ops/sec of the indexed fast path.
+    pub indexed_wall_ops: f64,
+    /// Mean entries the indexed path actually examined per op.
+    pub mean_candidates: f64,
+}
+
+/// Serializes rows as line-oriented JSON (one row object per line).
+pub fn render(mode: &str, rows: &[BenchRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"experiment\": \"e16_registry_scale\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"kind\": \"{}\", \"scale\": {}, \"naive_sim_ops\": {:.1}, \
+             \"indexed_sim_ops\": {:.1}, \"naive_wall_ops\": {:.1}, \
+             \"indexed_wall_ops\": {:.1}, \"mean_candidates\": {:.2}}}{comma}",
+            r.kind,
+            r.scale,
+            r.naive_sim_ops,
+            r.indexed_sim_ops,
+            r.naive_wall_ops,
+            r.indexed_wall_ops,
+            r.mean_candidates,
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Parses the rows back out of [`render`]'s output. Lines without a
+/// `"kind"` field are structural and skipped; a malformed row line is
+/// an error (a truncated artifact must fail the gate loudly).
+pub fn parse(text: &str) -> Result<Vec<BenchRow>, String> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"kind\"") {
+            continue;
+        }
+        let kind = scan_str(line, "kind").ok_or_else(|| format!("no kind in: {line}"))?;
+        let row = BenchRow {
+            kind,
+            scale: scan_num(line, "scale").ok_or_else(|| format!("no scale in: {line}"))?
+                as u64,
+            naive_sim_ops: scan_num(line, "naive_sim_ops")
+                .ok_or_else(|| format!("no naive_sim_ops in: {line}"))?,
+            indexed_sim_ops: scan_num(line, "indexed_sim_ops")
+                .ok_or_else(|| format!("no indexed_sim_ops in: {line}"))?,
+            naive_wall_ops: scan_num(line, "naive_wall_ops").unwrap_or(0.0),
+            indexed_wall_ops: scan_num(line, "indexed_wall_ops").unwrap_or(0.0),
+            mean_candidates: scan_num(line, "mean_candidates").unwrap_or(0.0),
+        };
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn scan_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    Some(line[at..].trim_start())
+}
+
+fn scan_num(line: &str, key: &str) -> Option<f64> {
+    let rest = scan_after(line, key)?;
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn scan_str(line: &str, key: &str) -> Option<String> {
+    let rest = scan_after(line, key)?.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(kind: &str, scale: u64) -> BenchRow {
+        BenchRow {
+            kind: kind.to_string(),
+            scale,
+            naive_sim_ops: 999.9,
+            indexed_sim_ops: 333333.3,
+            naive_wall_ops: 1_234_567.8,
+            indexed_wall_ops: 9_876_543.2,
+            mean_candidates: 2.01,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let rows = vec![row("coverage", 1000), row("policy", 64), row("pipeline", 100_000)];
+        let text = render("full", &rows);
+        assert!(text.contains("\"mode\": \"full\""));
+        let back = parse(&text).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn parse_rejects_truncated_rows() {
+        let err = parse("{\"kind\": \"coverage\", \"scale\": 5}").unwrap_err();
+        assert!(err.contains("naive_sim_ops"), "{err}");
+        assert!(parse("no rows at all\n{ }\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! The CI microbench gate: compares a fresh `BENCH_registry.json`
+//! against the checked-in baseline and fails (exit 1) when simulated
+//! referral-path throughput regresses by more than 15% on any row.
+//!
+//! ```text
+//! GUPSTER_E16_QUICK=1 GUPSTER_BENCH_OUT=/tmp/fresh.json \
+//!     cargo run --release -p gupster-bench --bin experiments -- e16
+//! cargo run --release -p gupster-bench --bin bench_compare -- \
+//!     BENCH_registry.json /tmp/fresh.json
+//! ```
+//!
+//! Rows are matched on `(kind, scale)`; baseline rows absent from the
+//! fresh run (the full sweep's 100k/1M rows when CI runs the quick
+//! sweep) are skipped, as are rows without a simulated measurement.
+//! Only `indexed_sim_ops` is gated — it derives from the deterministic
+//! stage cost model, so the threshold never flakes on machine speed.
+
+use gupster_bench::benchjson::{parse, BenchRow};
+
+/// Allowed fraction of baseline throughput before the gate trips.
+const FLOOR: f64 = 0.85;
+
+fn load(path: &str) -> Vec<BenchRow> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = &args[..] else {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json>");
+        std::process::exit(2);
+    };
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    if fresh.is_empty() {
+        eprintln!("bench_compare: {fresh_path} has no rows");
+        std::process::exit(2);
+    }
+
+    let mut compared = 0;
+    let mut failed = 0;
+    println!("{:<10} {:>9} {:>18} {:>18} {:>8}  verdict", "kind", "scale", "baseline sim ops", "fresh sim ops", "ratio");
+    for b in &baseline {
+        if b.indexed_sim_ops <= 0.0 {
+            continue;
+        }
+        let Some(f) = fresh.iter().find(|f| f.kind == b.kind && f.scale == b.scale) else {
+            println!("{:<10} {:>9} {:>18.1} {:>18} {:>8}  skipped (not in fresh run)", b.kind, b.scale, b.indexed_sim_ops, "-", "-");
+            continue;
+        };
+        if f.indexed_sim_ops <= 0.0 {
+            continue;
+        }
+        compared += 1;
+        let ratio = f.indexed_sim_ops / b.indexed_sim_ops;
+        let ok = ratio >= FLOOR;
+        if !ok {
+            failed += 1;
+        }
+        println!(
+            "{:<10} {:>9} {:>18.1} {:>18.1} {:>7.2}x  {}",
+            b.kind,
+            b.scale,
+            b.indexed_sim_ops,
+            f.indexed_sim_ops,
+            ratio,
+            if ok { "ok" } else { "REGRESSION (>15% below baseline)" }
+        );
+    }
+    if compared == 0 {
+        eprintln!("bench_compare: no comparable rows between {baseline_path} and {fresh_path}");
+        std::process::exit(2);
+    }
+    if failed > 0 {
+        eprintln!("bench_compare: {failed}/{compared} rows regressed past the {:.0}% floor", FLOOR * 100.0);
+        std::process::exit(1);
+    }
+    println!("bench_compare: {compared} rows within {:.0}% of baseline", FLOOR * 100.0);
+}

@@ -22,6 +22,7 @@ pub mod e12_hlr;
 pub mod e13_containment;
 pub mod e14_cache;
 pub mod e15_reliability;
+pub mod e16_registry_scale;
 
 static TRACE_OUT: OnceLock<PathBuf> = OnceLock::new();
 /// Request-id offset for the next dumped hub, so traces from several
@@ -59,7 +60,7 @@ pub fn dump_traces(hub: &TelemetryHub) {
     }
 }
 
-/// Runs one experiment by id (`e1`…`e15`), or `all`.
+/// Runs one experiment by id (`e1`…`e16`), or `all`.
 pub fn run(which: &str) -> bool {
     match which {
         "e1" => e01_placement::run(),
@@ -77,8 +78,9 @@ pub fn run(which: &str) -> bool {
         "e13" => e13_containment::run(),
         "e14" => e14_cache::run(),
         "e15" => e15_reliability::run(),
+        "e16" => e16_registry_scale::run(),
         "all" => {
-            for i in 1..=15 {
+            for i in 1..=16 {
                 run(&format!("e{i}"));
             }
         }

@@ -2,13 +2,14 @@
 //!
 //! Workload generators, a table printer and the per-experiment harness
 //! that regenerates every evaluation artifact listed in DESIGN.md
-//! (experiments E1–E14). Run `cargo run -p gupster-bench --bin
+//! (experiments E1–E16). Run `cargo run -p gupster-bench --bin
 //! experiments -- all` to reproduce the full suite; see EXPERIMENTS.md
 //! for the paper-vs-measured record.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod benchjson;
 pub mod experiments;
 pub mod microbench;
 pub mod table;

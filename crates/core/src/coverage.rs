@@ -1,8 +1,20 @@
 //! The coverage map: "a mapping between sub-trees of the GUP schema
 //! (expressed as XPath expressions) and data-stores" (§4.3/§4.5).
+//!
+//! Lookups ride the indexed fast path (DESIGN.md §7): a per-user
+//! [`crate::index::CoverageTrie`] keyed by interned path segments
+//! prunes the registrations to a sound candidate superset, and the
+//! exact containment tests run only on those candidates — byte-
+//! identical to the retained naive scan ([`CoverageMap::match_request_naive`]),
+//! which stays as the differential-testing oracle and the fallback for
+//! wildcard requests.
+
+use std::collections::HashMap;
 
 use gupster_store::StoreId;
 use gupster_xpath::{covers, may_overlap, Path};
+
+use crate::index::CoverageTrie;
 
 /// How a request matched the registered coverage.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -24,10 +36,26 @@ impl CoverageMatch {
     }
 }
 
+/// How one indexed match was answered — feeds the `index.*` telemetry
+/// counters and the `coverage.index` stage charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Entries the exact containment tests actually examined.
+    pub candidates: usize,
+    /// Total registered entries at match time.
+    pub registered: usize,
+    /// True when the trie answered; false on a naive fallback scan
+    /// (wildcard request).
+    pub used_index: bool,
+}
+
 /// Per-user coverage: the list of (component path, stores) registrations.
 #[derive(Debug, Clone, Default)]
 pub struct CoverageMap {
     entries: Vec<(Path, Vec<StoreId>)>,
+    /// path → entry index, so registration is O(1) instead of a scan.
+    by_path: HashMap<Path, usize>,
+    trie: CoverageTrie,
 }
 
 impl CoverageMap {
@@ -39,13 +67,19 @@ impl CoverageMap {
     /// Registers a store as holding the component at `path`.
     /// Idempotent per (path, store).
     pub fn register(&mut self, path: Path, store: StoreId) {
-        match self.entries.iter_mut().find(|(p, _)| *p == path) {
-            Some((_, stores)) => {
+        match self.by_path.get(&path) {
+            Some(&idx) => {
+                let stores = &mut self.entries[idx].1;
                 if !stores.contains(&store) {
                     stores.push(store);
                 }
             }
-            None => self.entries.push((path, vec![store])),
+            None => {
+                let idx = self.entries.len();
+                self.trie.insert(&path, idx);
+                self.by_path.insert(path.clone(), idx);
+                self.entries.push((path, vec![store]));
+            }
         }
     }
 
@@ -53,12 +87,16 @@ impl CoverageMap {
     /// was removed. Empty entries are dropped.
     pub fn unregister(&mut self, path: &Path, store: &StoreId) -> bool {
         let mut removed = false;
-        if let Some((_, stores)) = self.entries.iter_mut().find(|(p, _)| p == path) {
+        if let Some(&idx) = self.by_path.get(path) {
+            let stores = &mut self.entries[idx].1;
             let before = stores.len();
             stores.retain(|s| s != store);
             removed = stores.len() != before;
+            if stores.is_empty() {
+                self.entries.remove(idx);
+                self.rebuild_index();
+            }
         }
-        self.entries.retain(|(_, stores)| !stores.is_empty());
         removed
     }
 
@@ -71,8 +109,23 @@ impl CoverageMap {
             stores.retain(|s| s != store);
             n += before - stores.len();
         }
+        let before = self.entries.len();
         self.entries.retain(|(_, stores)| !stores.is_empty());
+        if self.entries.len() != before {
+            self.rebuild_index();
+        }
         n
+    }
+
+    /// Rebuilds the trie and the path map after entry indices shifted.
+    /// Removal is the cold path (carrier churn); lookups never pay this.
+    fn rebuild_index(&mut self) {
+        self.by_path.clear();
+        self.trie = CoverageTrie::default();
+        for (idx, (path, _)) in self.entries.iter().enumerate() {
+            self.by_path.insert(path.clone(), idx);
+            self.trie.insert(path, idx);
+        }
     }
 
     /// All registrations.
@@ -85,24 +138,68 @@ impl CoverageMap {
         self.entries.iter().map(|(_, s)| s.len()).sum()
     }
 
+    /// Entries living in the always-scanned wildcard bucket (registered
+    /// paths outside the core fragment). High values erode the index's
+    /// pruning power — experiment reports surface this.
+    pub fn wildcard_registrations(&self) -> usize {
+        self.trie.fallback_len()
+    }
+
     /// Matches a request path against the coverage (§4.5 semantics):
     /// a store fully serves the request when its registered path
     /// *covers* it; it partially serves when the registered path merely
     /// overlaps (is a fragment of) the request.
     pub fn match_request(&self, request: &Path) -> CoverageMatch {
+        self.match_request_with_stats(request).0
+    }
+
+    /// [`CoverageMap::match_request`] plus how the index answered.
+    pub fn match_request_with_stats(&self, request: &Path) -> (CoverageMatch, MatchStats) {
+        let mut candidates = Vec::new();
+        if !self.trie.candidates(request, &mut candidates) {
+            let stats = MatchStats {
+                candidates: self.entries.len(),
+                registered: self.entries.len(),
+                used_index: false,
+            };
+            return (self.match_request_naive(request), stats);
+        }
+        let mut m = CoverageMatch::default();
+        for &idx in &candidates {
+            let (path, stores) = &self.entries[idx];
+            self.match_one(path, stores, request, &mut m);
+        }
+        let stats = MatchStats {
+            candidates: candidates.len(),
+            registered: self.entries.len(),
+            used_index: true,
+        };
+        (m, stats)
+    }
+
+    /// The retained naive scan: examines every registration. The
+    /// differential-testing oracle for the trie, and the fallback for
+    /// requests outside the core fragment.
+    pub fn match_request_naive(&self, request: &Path) -> CoverageMatch {
         let mut m = CoverageMatch::default();
         for (path, stores) in &self.entries {
-            if covers(path, request) {
-                for s in stores {
-                    m.full.push((s.clone(), request.clone()));
-                }
-            } else if may_overlap(path, request) {
-                for s in stores {
-                    m.partial.push((s.clone(), path.clone()));
-                }
-            }
+            self.match_one(path, stores, request, &mut m);
         }
         m
+    }
+
+    /// The exact per-entry test, shared by both paths so they cannot
+    /// diverge in semantics — only in which entries they examine.
+    fn match_one(&self, path: &Path, stores: &[StoreId], request: &Path, m: &mut CoverageMatch) {
+        if covers(path, request) {
+            for s in stores {
+                m.full.push((s.clone(), request.clone()));
+            }
+        } else if may_overlap(path, request) {
+            for s in stores {
+                m.partial.push((s.clone(), path.clone()));
+            }
+        }
     }
 }
 
@@ -181,6 +278,45 @@ mod tests {
         assert!(cov.unregister(&p("/user/presence"), &sid("s1")));
         assert!(!cov.unregister(&p("/user/presence"), &sid("s1")));
         assert!(cov.match_request(&p("/user/presence")).is_empty());
+    }
+
+    #[test]
+    fn indexed_match_reports_stats_and_agrees_with_naive() {
+        let mut cov = CoverageMap::new();
+        for i in 0..50 {
+            cov.register(p(&format!("/user/address-book/item[@id='{i}']")), sid("s"));
+        }
+        cov.register(p("/user/presence"), sid("s2"));
+        let req = p("/user/address-book/item[@id='7']");
+        assert_eq!(cov.wildcard_registrations(), 0);
+        let (m, stats) = cov.match_request_with_stats(&req);
+        assert!(stats.used_index);
+        assert_eq!(stats.registered, 51);
+        assert!(stats.candidates <= 2, "point lookup must prune: {stats:?}");
+        assert_eq!(m, cov.match_request_naive(&req));
+        // Wildcard request: naive fallback, still identical semantics.
+        let wild = p("//item");
+        let (m, stats) = cov.match_request_with_stats(&wild);
+        assert!(!stats.used_index);
+        assert_eq!(stats.candidates, 51);
+        assert_eq!(m, cov.match_request_naive(&wild));
+    }
+
+    #[test]
+    fn index_stays_correct_after_unregister_shifts_indices() {
+        let mut cov = CoverageMap::new();
+        cov.register(p("/user/presence"), sid("s1"));
+        cov.register(p("/user/address-book"), sid("s2"));
+        cov.register(p("/user/calendar"), sid("s3"));
+        assert!(cov.unregister(&p("/user/presence"), &sid("s1")));
+        for req in ["/user/address-book", "/user/calendar", "/user/presence"] {
+            assert_eq!(
+                cov.match_request(&p(req)),
+                cov.match_request_naive(&p(req)),
+                "{req}"
+            );
+        }
+        assert_eq!(cov.match_request(&p("/user/calendar")).full[0].0, sid("s3"));
     }
 
     #[test]

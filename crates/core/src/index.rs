@@ -1,0 +1,286 @@
+//! The per-user coverage trie: the indexed fast path behind
+//! [`crate::CoverageMap::match_request`].
+//!
+//! Registered component paths are laid out as a trie keyed by interned
+//! step segments. An edge is `(name Sym, attribute-axis?)` into a
+//! per-name bucket that splits further on the step's first
+//! `[@attr='value']` predicate: predicate-less steps share the `bare`
+//! slot (the wildcard bucket of a name — such registrations can match
+//! any predicate the request carries), and predicated steps hang off
+//! `(attr, value)` sym pairs so point lookups like `item[@id='4711']`
+//! touch exactly one edge out of 100k siblings.
+//!
+//! The trie is a **pruning** index, not a decision procedure: a walk
+//! returns a superset of the entries that can possibly relate to the
+//! request (sound per the step-compatibility and predicate-implication
+//! rules of [`gupster_xpath::covers`] / [`gupster_xpath::may_overlap`]),
+//! and the caller re-runs the exact containment tests on just those
+//! candidates, in registration order — so the indexed match is
+//! byte-identical to the retained naive scan, which the seeded
+//! differential suite asserts.
+//!
+//! Paths outside the core fragment (`//`, `*`) do not compile to
+//! interned spines; they live in an always-scanned wildcard bucket.
+//! Requests outside the core fragment skip the trie entirely (the
+//! caller falls back to the naive scan and counts it).
+
+use std::collections::HashMap;
+
+use gupster_xpath::{Axis, InternedPath, NameTest, Path, PathInterner, Predicate, Sym};
+
+/// Per-name edge bucket: the predicate-less child plus children keyed
+/// by their discriminating `[@attr='value']` predicate.
+#[derive(Debug, Clone, Default)]
+struct NameBucket {
+    /// Child for steps of this name with no `AttrEq` predicate. Always
+    /// a candidate: a bare registration covers any predicated request
+    /// step, and overlaps any of them.
+    bare: Option<usize>,
+    /// attr sym → value sym → child node.
+    by_attr: HashMap<Sym, HashMap<Sym, usize>>,
+}
+
+/// One trie node: outgoing edges plus the registrations whose spine
+/// terminates here (indices into the owning coverage map's entry list).
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    children: HashMap<(Sym, bool), NameBucket>,
+    entries: Vec<usize>,
+}
+
+/// The coverage trie. `nodes[0]` is the root (the document node).
+#[derive(Debug, Clone)]
+pub(crate) struct CoverageTrie {
+    nodes: Vec<TrieNode>,
+    /// Entries whose path leaves the core fragment — always candidates.
+    fallback: Vec<usize>,
+}
+
+impl Default for CoverageTrie {
+    fn default() -> Self {
+        CoverageTrie { nodes: vec![TrieNode::default()], fallback: Vec::new() }
+    }
+}
+
+impl CoverageTrie {
+    /// Inserts entry `idx` under `path`'s spine (or the wildcard bucket
+    /// when the path does not compile to one).
+    pub(crate) fn insert(&mut self, path: &Path, idx: usize) {
+        let Some(compiled) = InternedPath::compile(path) else {
+            self.fallback.push(idx);
+            return;
+        };
+        let mut node = 0usize;
+        for step in &compiled.steps {
+            let key = (step.name, step.attribute);
+            let existing = {
+                let bucket = self.nodes[node].children.entry(key).or_default();
+                match step.pred_key {
+                    None => bucket.bare,
+                    Some((a, v)) => {
+                        bucket.by_attr.get(&a).and_then(|m| m.get(&v)).copied()
+                    }
+                }
+            };
+            node = match existing {
+                Some(child) => child,
+                None => {
+                    let child = self.nodes.len();
+                    self.nodes.push(TrieNode::default());
+                    let bucket =
+                        self.nodes[node].children.get_mut(&key).expect("just inserted");
+                    match step.pred_key {
+                        None => bucket.bare = Some(child),
+                        Some((a, v)) => {
+                            bucket.by_attr.entry(a).or_default().insert(v, child);
+                        }
+                    }
+                    child
+                }
+            };
+        }
+        self.nodes[node].entries.push(idx);
+    }
+
+    /// Number of entries in the always-scanned wildcard bucket.
+    pub(crate) fn fallback_len(&self) -> usize {
+        self.fallback.len()
+    }
+
+    /// Collects into `out` every entry index that can possibly cover or
+    /// overlap `request` (a sorted, deduplicated superset). Returns
+    /// `false` when the request leaves the core fragment — the caller
+    /// must fall back to the naive scan.
+    pub(crate) fn candidates(&self, request: &Path, out: &mut Vec<usize>) -> bool {
+        if !request.is_core_fragment() {
+            return false;
+        }
+        out.extend_from_slice(&self.fallback);
+        out.extend_from_slice(&self.nodes[0].entries);
+        let mut frontier: Vec<usize> = vec![0];
+        let mut scratch: Vec<usize> = Vec::new();
+        let mut full_walk = true;
+        for step in &request.steps {
+            let NameTest::Name(name) = &step.test else {
+                // Core-fragment paths carry no wildcards.
+                unreachable!("core fragment step has a concrete name")
+            };
+            let Some(name_sym) = PathInterner::lookup(name) else {
+                // Never-interned name: no registered spine goes deeper.
+                full_walk = false;
+                break;
+            };
+            // The request step's pinned attributes: an edge keyed
+            // `[@a='w']` survives only if the request either pins a to w
+            // or does not pin a at all (then they may still overlap).
+            let mut pins: Vec<(Sym, Option<Sym>)> = Vec::new();
+            for p in &step.predicates {
+                if let Predicate::AttrEq(a, v) = p {
+                    if let Some(a_sym) = PathInterner::lookup(a) {
+                        pins.push((a_sym, PathInterner::lookup(v)));
+                    }
+                }
+            }
+            let key = (name_sym, step.axis == Axis::Attribute);
+            scratch.clear();
+            for &node in &frontier {
+                let Some(bucket) = self.nodes[node].children.get(&key) else { continue };
+                if let Some(bare) = bucket.bare {
+                    scratch.push(bare);
+                }
+                for (attr, values) in &bucket.by_attr {
+                    let mut pinned = false;
+                    for (a, v) in &pins {
+                        if a == attr {
+                            pinned = true;
+                            if let Some(v) = v {
+                                if let Some(&child) = values.get(v) {
+                                    scratch.push(child);
+                                }
+                            }
+                        }
+                    }
+                    if !pinned {
+                        scratch.extend(values.values().copied());
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut scratch);
+            if frontier.is_empty() {
+                full_walk = false;
+                break;
+            }
+            for &node in &frontier {
+                out.extend_from_slice(&self.nodes[node].entries);
+            }
+        }
+        if full_walk {
+            // Registrations strictly below the request's spine are the
+            // partial-overlap candidates (Fig. 9 split sources).
+            let mut stack = frontier;
+            while let Some(node) = stack.pop() {
+                for bucket in self.nodes[node].children.values() {
+                    if let Some(bare) = bucket.bare {
+                        out.extend_from_slice(&self.nodes[bare].entries);
+                        stack.push(bare);
+                    }
+                    for values in bucket.by_attr.values() {
+                        for &child in values.values() {
+                            out.extend_from_slice(&self.nodes[child].entries);
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn cands(trie: &CoverageTrie, req: &str) -> Option<Vec<usize>> {
+        let mut out = Vec::new();
+        trie.candidates(&p(req), &mut out).then_some(out)
+    }
+
+    #[test]
+    fn point_lookup_prunes_predicate_siblings() {
+        let mut trie = CoverageTrie::default();
+        for i in 0..100 {
+            trie.insert(&p(&format!("/user[@id='u']/address-book/item[@id='{i}']")), i);
+        }
+        trie.insert(&p("/user[@id='u']/address-book"), 100);
+        let got = cands(&trie, "/user[@id='u']/address-book/item[@id='42']").unwrap();
+        // The pinned edge, plus the bare address-book ancestor.
+        assert_eq!(got, vec![42, 100]);
+    }
+
+    #[test]
+    fn bare_request_collects_the_subtree() {
+        let mut trie = CoverageTrie::default();
+        trie.insert(&p("/user/address-book/item[@type='personal']"), 0);
+        trie.insert(&p("/user/address-book/item[@type='corporate']"), 1);
+        trie.insert(&p("/user/presence"), 2);
+        let got = cands(&trie, "/user/address-book").unwrap();
+        assert_eq!(got, vec![0, 1]);
+        let got = cands(&trie, "/user/presence").unwrap();
+        assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn unpinned_attr_keeps_all_values() {
+        let mut trie = CoverageTrie::default();
+        trie.insert(&p("/u/item[@type='a']/x"), 0);
+        trie.insert(&p("/u/item[@type='b']/x"), 1);
+        // Request pins a DIFFERENT attribute: type-edges both survive.
+        let got = cands(&trie, "/u/item[@kind='z']/x").unwrap();
+        assert_eq!(got, vec![0, 1]);
+        // Request pins type: only the matching edge survives.
+        let got = cands(&trie, "/u/item[@type='b']/x").unwrap();
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn wildcard_registrations_always_candidates() {
+        let mut trie = CoverageTrie::default();
+        trie.insert(&p("//item"), 0);
+        trie.insert(&p("/u/presence"), 1);
+        assert_eq!(trie.fallback_len(), 1);
+        let got = cands(&trie, "/u/calendar").unwrap();
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn wildcard_request_falls_back() {
+        let mut trie = CoverageTrie::default();
+        trie.insert(&p("/u/presence"), 0);
+        assert!(cands(&trie, "//presence").is_none());
+        assert!(cands(&trie, "/u/*").is_none());
+    }
+
+    #[test]
+    fn unknown_name_stops_the_walk_but_keeps_ancestors() {
+        let mut trie = CoverageTrie::default();
+        trie.insert(&p("/u"), 0);
+        let got = cands(&trie, "/u/never-registered-name-qq/deeper").unwrap();
+        assert_eq!(got, vec![0], "shorter registration still covers");
+    }
+
+    #[test]
+    fn attribute_axis_is_a_distinct_edge() {
+        let mut trie = CoverageTrie::default();
+        trie.insert(&p("/u/item/@ref"), 0);
+        trie.insert(&p("/u/item/ref"), 1);
+        assert_eq!(cands(&trie, "/u/item/@ref").unwrap(), vec![0]);
+        assert_eq!(cands(&trie, "/u/item/ref").unwrap(), vec![1]);
+    }
+}

@@ -33,6 +33,7 @@ mod client;
 pub mod constellation;
 mod coverage;
 mod error;
+mod index;
 pub mod mdm;
 pub mod patterns;
 pub mod provenance;
@@ -45,7 +46,7 @@ mod token;
 
 pub use client::{fetch_merge, fetch_merge_traced, StorePool};
 pub use constellation::Constellation;
-pub use coverage::{CoverageMap, CoverageMatch};
+pub use coverage::{CoverageMap, CoverageMatch, MatchStats};
 pub use provenance::{Disclosure, ProvenanceLog};
 pub use error::GupsterError;
 pub use referral::{Referral, ReferralEntry};

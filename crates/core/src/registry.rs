@@ -1,11 +1,11 @@
 //! The GUPster server: registration, lookup, rewriting, referrals.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use gupster_netsim::SimTime;
-use gupster_policy::{pep, Pap, Pdp, Purpose, RequestContext, WeekTime};
+use gupster_policy::{pep, DecisionMemo, MemoKey, Pap, Pdp, Purpose, RequestContext, WeekTime};
 use gupster_schema::Schema;
 use gupster_store::StoreId;
 use gupster_telemetry::{stage, TelemetryHub, Tracer};
@@ -89,6 +89,10 @@ pub struct Gupster {
     /// The disclosure audit trail (§7's provenance challenge).
     pub provenance: ProvenanceLog,
     telemetry: Arc<TelemetryHub>,
+    /// The decision memo (DESIGN.md §7): repeated (owner, context,
+    /// path) triples skip the PDP entirely. Generation-stamped against
+    /// the policy repository, so PAP writes invalidate it exactly.
+    memo: DecisionMemo,
 }
 
 impl Gupster {
@@ -104,7 +108,13 @@ impl Gupster {
             stats: RegistryStats::default(),
             provenance: ProvenanceLog::with_retention(100_000),
             telemetry: Arc::new(TelemetryHub::new()),
+            memo: DecisionMemo::new(4096),
         }
+    }
+
+    /// Decision-memo occupancy and counters, for experiment reports.
+    pub fn memo_stats(&self) -> (usize, u64, u64) {
+        (self.memo.len(), self.memo.hits, self.memo.misses)
     }
 
     /// A clone of the signer — data stores hold this to verify tokens.
@@ -157,18 +167,22 @@ impl Gupster {
         self.coverage.get(user)
     }
 
-    /// Exports every (user, path, store) registration — mirror
-    /// anti-entropy in a [`crate::constellation::Constellation`].
+    /// Borrows every (user, path, store) registration — the inspection
+    /// path for experiments and anti-entropy checks. Nothing is cloned;
+    /// callers that need owned data use [`Gupster::export_coverage`].
+    pub fn coverage_iter(&self) -> impl Iterator<Item = (&str, &Path, &StoreId)> + '_ {
+        self.coverage.iter().flat_map(|(user, map)| {
+            map.entries().iter().flat_map(move |(path, stores)| {
+                stores.iter().map(move |s| (user.as_str(), path, s))
+            })
+        })
+    }
+
+    /// Exports every (user, path, store) registration as owned values —
+    /// mirror anti-entropy in a
+    /// [`crate::constellation::Constellation`].
     pub fn export_coverage(&self) -> Vec<(String, Path, StoreId)> {
-        let mut out = Vec::new();
-        for (user, map) in &self.coverage {
-            for (path, stores) in map.entries() {
-                for s in stores {
-                    out.push((user.clone(), path.clone(), s.clone()));
-                }
-            }
-        }
-        out
+        self.coverage_iter().map(|(u, p, s)| (u.to_string(), p.clone(), s.clone())).collect()
     }
 
     /// Copies all meta-data (coverage, relationships, policies) from a
@@ -283,13 +297,29 @@ impl Gupster {
             return Err(GupsterError::UnknownUser(owner.to_string()));
         };
 
-        // 3. Privacy shield: decide and rewrite. Charged per rule the
-        // PDP examined (~2µs each: condition eval + overlap test).
+        // 3. Privacy shield: decide and rewrite. The decision memo is
+        // consulted first (a hit costs ~1µs and touches no rule); a
+        // miss runs the PDP over the bucketed candidate rules, charged
+        // per rule examined (~2µs each: condition eval + overlap test).
         let ctx = self.context(owner, requester, purpose, time);
         tracer.enter(stage::POLICY_DECIDE);
-        let (enforcement, cost) =
-            pep::enforce_with_cost(&self.pdp, &self.pap.repository, owner, request, &ctx);
-        tracer.charge(SimTime::micros(1 + 2 * cost.rules_considered));
+        let generation = self.pap.repository.generation();
+        let key = MemoKey::new(owner, &ctx, request);
+        let decision = match self.memo.get(&key, generation) {
+            Some(decision) => {
+                self.telemetry.counters().memo_hits.fetch_add(1, Ordering::Relaxed);
+                tracer.charge(SimTime::micros(1));
+                decision
+            }
+            None => {
+                let (decision, cost) =
+                    self.pdp.decide_with_cost(&self.pap.repository, owner, request, &ctx);
+                self.memo.put(key, generation, decision.clone());
+                tracer.charge(SimTime::micros(1 + 2 * cost.rules_considered));
+                decision
+            }
+        };
+        let enforcement = pep::apply(decision, request);
         tracer.exit();
         let permitted = match enforcement {
             pep::Enforcement::Refused => {
@@ -312,31 +342,42 @@ impl Gupster {
         tracer.charge(SimTime::micros(rewritten.len() as u64));
         tracer.exit();
 
-        // 4b. Coverage match per permitted path (~1µs per registered
-        // entry scanned per path).
+        // 4b. Coverage match per permitted path. The trie index prunes
+        // each match to its candidate entries (charged ~1µs per
+        // candidate examined, with the walk itself a `coverage.index`
+        // child span); wildcard requests fall back to the full scan.
         tracer.enter(stage::COVERAGE_MATCH);
         let mut entries: Vec<ReferralEntry> = Vec::new();
+        let mut seen: HashSet<(StoreId, Path)> = HashSet::new();
+        let mut examined: u64 = 0;
         for p in &rewritten {
-            let m = coverage.match_request(p);
+            let (m, match_stats) = coverage.match_request_with_stats(p);
+            if match_stats.used_index {
+                self.telemetry.counters().trie_hits.fetch_add(1, Ordering::Relaxed);
+                tracer.enter(stage::COVERAGE_INDEX);
+                tracer.charge(SimTime::micros(1));
+                tracer.exit();
+            } else {
+                self.telemetry.counters().fallback_scans.fetch_add(1, Ordering::Relaxed);
+            }
+            examined += match_stats.candidates as u64;
             for (store, path) in m.full {
-                push_unique(
-                    &mut entries,
-                    ReferralEntry { store, path: ensure_user_id(&path, owner), complete: true },
-                );
+                let path = ensure_user_id(&path, owner);
+                if seen.insert((store.clone(), path.clone())) {
+                    entries.push(ReferralEntry { store, path, complete: true });
+                }
             }
             // Partial sources are asked for the *request* path: each
             // store returns the fragment it holds under it, and the
             // client deep-unions the fragments (Fig. 9). The narrower
             // registered path only selects *which* stores participate.
             for (store, _registered) in m.partial {
-                push_unique(
-                    &mut entries,
-                    ReferralEntry { store, path: p.clone(), complete: false },
-                );
+                if seen.insert((store.clone(), p.clone())) {
+                    entries.push(ReferralEntry { store, path: p.clone(), complete: false });
+                }
             }
         }
-        let scanned = (coverage.entries().len() * rewritten.len()) as u64;
-        tracer.charge(SimTime::micros(1 + scanned));
+        tracer.charge(SimTime::micros(1 + examined));
         tracer.exit();
         if entries.is_empty() {
             self.stats.uncovered += 1;
@@ -390,12 +431,6 @@ impl Gupster {
             return Ok(LookupOutcome { referral: r, narrowed: out.narrowed });
         }
         Ok(out)
-    }
-}
-
-fn push_unique(entries: &mut Vec<ReferralEntry>, e: ReferralEntry) {
-    if !entries.iter().any(|x| x.store == e.store && x.path == e.path) {
-        entries.push(e);
     }
 }
 
@@ -643,6 +678,90 @@ mod tests {
         // The pipeline stopped at the shield: no signing span.
         assert!(hub.stage_stats("token.sign").is_none());
         assert!(hub.stage_stats("policy.decide").is_some());
+    }
+
+    #[test]
+    fn huge_referral_dedups_without_quadratic_scan() {
+        // Regression: `push_unique` scanned the whole entry list per
+        // insert (O(n²)); a 10k-fragment referral now builds through a
+        // set. Two stores per item exercise the dedup on both the
+        // partial and full arms.
+        let mut g = Gupster::new(gup_schema(), b"k");
+        for i in 0..10_000 {
+            g.register_component(
+                "arnaud",
+                p(&format!("/user[@id='arnaud']/address-book/item[@id='{i}']")),
+                sid(&format!("store-{}", i % 2)),
+            )
+            .unwrap();
+        }
+        let out = g
+            .lookup("arnaud", &p("/user[@id='arnaud']/address-book"), "arnaud", Purpose::Query, noon(), 0)
+            .unwrap();
+        // Partial entries carry the request path, so the 10k fragments
+        // collapse to one entry per store.
+        assert_eq!(out.referral.entries.len(), 2);
+        let mut uniq = std::collections::HashSet::new();
+        for e in &out.referral.entries {
+            assert!(uniq.insert((e.store.clone(), e.path.clone())), "duplicate {e:?}");
+        }
+        // A point lookup stays pruned: the trie examines ~1 candidate
+        // out of 10k.
+        let out = g
+            .lookup(
+                "arnaud",
+                &p("/user[@id='arnaud']/address-book/item[@id='77']"),
+                "arnaud",
+                Purpose::Query,
+                noon(),
+                1,
+            )
+            .unwrap();
+        assert_eq!(out.referral.entries.len(), 1);
+        assert_eq!(out.referral.entries[0].store, sid("store-1"));
+        let c = g.telemetry().counter_snapshot();
+        assert_eq!(c.trie_hits, 2);
+        assert_eq!(c.fallback_scans, 0);
+    }
+
+    #[test]
+    fn decision_memo_hits_and_invalidates_on_pap_writes() {
+        let mut g = server();
+        g.set_relationship("arnaud", "rick", "co-worker");
+        g.pap
+            .provision("arnaud", "cw", Effect::Permit, "/user/presence", "relationship='co-worker'", 0)
+            .unwrap();
+        let presence = p("/user[@id='arnaud']/presence");
+        g.lookup("arnaud", &presence, "rick", Purpose::Query, noon(), 0).unwrap();
+        g.lookup("arnaud", &presence, "rick", Purpose::Query, noon(), 1).unwrap();
+        g.lookup("arnaud", &presence, "rick", Purpose::Query, noon(), 2).unwrap();
+        let c = g.telemetry().counter_snapshot();
+        assert_eq!(c.memo_hits, 2, "repeat lookups ride the memo");
+        let (len, hits, _) = g.memo_stats();
+        assert!(len >= 1);
+        assert_eq!(hits, 2);
+        // A PAP write bumps the repository generation: the memoized
+        // permit must NOT survive the owner revoking the rule.
+        assert!(g.pap.withdraw("arnaud", "cw"));
+        let err = g.lookup("arnaud", &presence, "rick", Purpose::Query, noon(), 3);
+        assert!(matches!(err, Err(GupsterError::AccessDenied { .. })), "stale memo served");
+        // A different context (other requester) never shares an entry.
+        let err = g.lookup("arnaud", &presence, "spy", Purpose::Query, noon(), 4);
+        assert!(matches!(err, Err(GupsterError::AccessDenied { .. })));
+    }
+
+    #[test]
+    fn coverage_iter_borrows_everything() {
+        let g = server();
+        let mut rows: Vec<(String, String, String)> = g
+            .coverage_iter()
+            .map(|(u, path, s)| (u.to_string(), path.to_string(), s.0.clone()))
+            .collect();
+        rows.sort();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(g.export_coverage().len(), 3);
+        assert!(rows.iter().all(|(u, _, _)| u == "arnaud"));
+        assert!(rows.iter().any(|(_, p, s)| p.contains("presence") && s == "gup.spcs.com"));
     }
 
     #[test]

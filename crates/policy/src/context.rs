@@ -86,8 +86,9 @@ impl WeekTime {
 
 /// The full context of a profile request (§4.6: "the context provides
 /// some information about … identity of the requester, purpose of the
-/// request, etc.").
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// request, etc."). `Hash` covers every facet, so the decision memo can
+/// key on a context digest.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RequestContext {
     /// Who asks (a user id or an application id).
     pub requester: String,

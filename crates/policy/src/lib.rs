@@ -26,6 +26,7 @@
 
 mod condition;
 mod context;
+mod memo;
 mod pap;
 mod pdp;
 pub mod pep;
@@ -34,6 +35,7 @@ mod rule;
 
 pub use condition::Condition;
 pub use context::{Purpose, RequestContext, WeekTime};
+pub use memo::{DecisionMemo, MemoKey};
 pub use pap::{Pap, RuleError};
 pub use pdp::{Decision, DecisionCost, Pdp};
 pub use repository::PolicyRepository;

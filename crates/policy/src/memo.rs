@@ -1,0 +1,183 @@
+//! A small LRU memo for PDP decisions (DESIGN.md §7).
+//!
+//! The referral pipeline decides the same `(owner, requester context,
+//! request path)` triple over and over — HLR-style lookup storms replay
+//! identical queries. The memo caches the [`Decision`] keyed by that
+//! triple, with the request path *interned* so repeated keys hash an
+//! integer, not a string.
+//!
+//! Invalidation is by **generation**: every entry is stamped with the
+//! [`crate::PolicyRepository::generation`] it was computed under, and a
+//! lookup whose stamp disagrees with the repository's current (globally
+//! unique) generation is discarded. A PAP write bumps the generation,
+//! so no stale decision can ever be served — without the memo having to
+//! know *which* rules changed.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use gupster_xpath::{Path, PathInterner, Sym};
+
+use crate::context::RequestContext;
+use crate::pdp::Decision;
+
+/// The memo key: profile owner, a hash of the full request context and
+/// the interned request path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    owner: String,
+    ctx_hash: u64,
+    path: Sym,
+}
+
+impl MemoKey {
+    /// Builds the key for one decision. The context hash folds in every
+    /// facet (requester, relationship, purpose, time, attrs) — two
+    /// contexts that could decide differently never share a key, short
+    /// of a 64-bit hash collision between *simultaneously live* keys.
+    pub fn new(owner: &str, ctx: &RequestContext, request: &Path) -> MemoKey {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        ctx.hash(&mut h);
+        MemoKey {
+            owner: owner.to_string(),
+            ctx_hash: h.finish(),
+            path: PathInterner::intern(&request.to_string()),
+        }
+    }
+}
+
+/// A bounded, generation-checked LRU memo of PDP decisions.
+#[derive(Debug, Clone)]
+pub struct DecisionMemo {
+    capacity: usize,
+    /// key → (decision, repository generation at compute time, last use).
+    entries: HashMap<MemoKey, (Decision, u64, u64)>,
+    tick: u64,
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that missed (absent or stale).
+    pub misses: u64,
+}
+
+impl DecisionMemo {
+    /// A memo bounded to `capacity` decisions.
+    pub fn new(capacity: usize) -> Self {
+        DecisionMemo {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a decision computed under the given repository
+    /// generation. Entries stamped with any other generation are stale
+    /// (the rules changed since) and are dropped on sight.
+    pub fn get(&mut self, key: &MemoKey, generation: u64) -> Option<Decision> {
+        self.tick += 1;
+        let tick = self.tick;
+        let stale = match self.entries.get_mut(key) {
+            Some((decision, gen, last_use)) if *gen == generation => {
+                *last_use = tick;
+                self.hits += 1;
+                return Some(decision.clone());
+            }
+            Some(_) => true,
+            None => false,
+        };
+        if stale {
+            self.entries.remove(key);
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Stores a decision computed under the given generation, evicting
+    /// the least-recently-used entry at capacity.
+    pub fn put(&mut self, key: MemoKey, generation: u64, decision: Decision) {
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, _, last_use))| *last_use)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (decision, generation, self.tick));
+    }
+
+    /// Number of memoized decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::WeekTime;
+
+    fn key(owner: &str, requester: &str, path: &str) -> MemoKey {
+        let ctx = RequestContext::query(requester, "family", WeekTime::at(1, 10, 0));
+        MemoKey::new(owner, &ctx, &Path::parse(path).unwrap())
+    }
+
+    #[test]
+    fn hit_miss_and_generation_invalidation() {
+        let mut memo = DecisionMemo::new(8);
+        let k = key("alice", "mom", "/user/presence");
+        assert_eq!(memo.get(&k, 3), None);
+        memo.put(k.clone(), 3, Decision::Permit);
+        assert_eq!(memo.get(&k, 3), Some(Decision::Permit));
+        // The repository moved to generation 7: the entry is stale.
+        assert_eq!(memo.get(&k, 7), None);
+        assert!(memo.is_empty(), "stale entries are dropped on sight");
+        assert_eq!((memo.hits, memo.misses), (1, 2));
+    }
+
+    #[test]
+    fn distinct_facets_get_distinct_keys() {
+        let base = key("alice", "mom", "/user/presence");
+        assert_ne!(base, key("alice", "dad", "/user/presence"));
+        assert_ne!(base, key("alice", "mom", "/user/calendar"));
+        assert_ne!(base, key("bob", "mom", "/user/presence"));
+        let late = RequestContext::query("mom", "family", WeekTime::at(6, 23, 0));
+        assert_ne!(
+            base,
+            MemoKey::new("alice", &late, &Path::parse("/user/presence").unwrap())
+        );
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut memo = DecisionMemo::new(2);
+        let a = key("alice", "a", "/user/presence");
+        let b = key("alice", "b", "/user/presence");
+        let c = key("alice", "c", "/user/presence");
+        memo.put(a.clone(), 1, Decision::Permit);
+        memo.put(b.clone(), 1, Decision::Deny);
+        // Touch `a` so `b` is the LRU victim.
+        assert_eq!(memo.get(&a, 1), Some(Decision::Permit));
+        memo.put(c.clone(), 1, Decision::Permit);
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.get(&b, 1), None, "LRU victim evicted");
+        assert_eq!(memo.get(&a, 1), Some(Decision::Permit));
+        assert_eq!(memo.get(&c, 1), Some(Decision::Permit));
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+}

@@ -76,6 +76,12 @@ impl Pdp {
     }
 
     /// [`Pdp::decide`] plus the amount of rule-evaluation work done.
+    ///
+    /// Rides the bucketed rule index (DESIGN.md §7): only the rules in
+    /// the request's component bucket (plus the wildcard catch-all) are
+    /// examined, in rule order, so the decision is byte-identical to
+    /// [`Pdp::decide_with_cost_naive`] while `rules_considered` shrinks
+    /// from *all rules* to *candidate rules*.
     pub fn decide_with_cost(
         &self,
         repo: &PolicyRepository,
@@ -92,6 +98,46 @@ impl Pdp {
         // Rules are stored per owner, so their scopes omit the
         // `[@id='…']` predicate requests carry on the first step;
         // normalize the request the same way before matching.
+        let request = &strip_user_id(request);
+        let rules = repo.rules_for(owner);
+        let applicable: Vec<&Rule> = match repo.candidate_indices(owner, request) {
+            Some(candidates) => {
+                cost.rules_considered = candidates.len() as u64;
+                candidates
+                    .iter()
+                    .map(|&i| &rules[i])
+                    .filter(|r| r.condition.eval(ctx) && may_overlap(&r.scope, request))
+                    .collect()
+            }
+            None => {
+                // Unbucketable request (wildcards, bare `/user`): every
+                // rule is a candidate.
+                cost.rules_considered = rules.len() as u64;
+                rules
+                    .iter()
+                    .filter(|r| r.condition.eval(ctx) && may_overlap(&r.scope, request))
+                    .collect()
+            }
+        };
+        cost.rules_applicable = applicable.len() as u64;
+        (self.weigh(applicable, request), cost)
+    }
+
+    /// The retained naive decision: scans every rule of the owner. The
+    /// differential-testing oracle for the indexed
+    /// [`Pdp::decide_with_cost`] — the two must agree byte-for-byte on
+    /// every input.
+    pub fn decide_with_cost_naive(
+        &self,
+        repo: &PolicyRepository,
+        owner: &str,
+        request: &Path,
+        ctx: &RequestContext,
+    ) -> (Decision, DecisionCost) {
+        let mut cost = DecisionCost::default();
+        if ctx.relationship == "self" {
+            return (Decision::Permit, cost);
+        }
         let request = &strip_user_id(request);
         let rules = repo.rules_for(owner);
         cost.rules_considered = rules.len() as u64;
@@ -353,6 +399,42 @@ mod tests {
             pdp.decide(&repo, "alice", &path("/user/presence"), &ctx("anyone", 0, 0)),
             Decision::Permit
         );
+    }
+
+    #[test]
+    fn indexed_decide_agrees_with_naive_and_prunes() {
+        let pdp = Pdp::new();
+        let mut repo = shield();
+        // Pad with rules on many other components so pruning is visible.
+        for i in 0..40 {
+            repo.put(
+                "alice",
+                Rule::permit(
+                    &format!("pad-{i}"),
+                    path(&format!("/user/devices/device[@id='{i}']")),
+                    Condition::True,
+                ),
+            );
+        }
+        for (req, rel) in [
+            ("/user[@id='alice']/presence", "co-worker"),
+            ("/user[@id='alice']/address-book", "family"),
+            ("/user/calendar/event[@id='e1']/start", "family"),
+            ("/user/devices/device[@id='7']", "third-party"),
+            ("/user", "boss"),
+            ("//presence", "boss"),
+        ] {
+            let c = ctx(rel, 2, 11);
+            let (d, cost) = pdp.decide_with_cost(&repo, "alice", &path(req), &c);
+            let (dn, cost_n) = pdp.decide_with_cost_naive(&repo, "alice", &path(req), &c);
+            assert_eq!(d, dn, "{req} as {rel}");
+            assert_eq!(cost.rules_applicable, cost_n.rules_applicable, "{req}");
+            assert!(cost.rules_considered <= cost_n.rules_considered, "{req}");
+        }
+        // The presence request must not touch the 40 device rules.
+        let (_, cost) =
+            pdp.decide_with_cost(&repo, "alice", &path("/user/presence"), &ctx("boss", 2, 11));
+        assert!(cost.rules_considered <= 4, "got {}", cost.rules_considered);
     }
 
     #[test]

@@ -46,12 +46,18 @@ pub fn enforce_with_cost(
     ctx: &RequestContext,
 ) -> (Enforcement, DecisionCost) {
     let (decision, cost) = pdp.decide_with_cost(repo, owner, request, ctx);
-    let enforcement = match decision {
+    (apply(decision, request), cost)
+}
+
+/// Enforces an already-rendered decision on a request. Split out so the
+/// registry's decision memo can replay a cached [`Decision`] without
+/// re-asking the PDP.
+pub fn apply(decision: Decision, request: &Path) -> Enforcement {
+    match decision {
         Decision::Permit => Enforcement::Proceed(vec![request.clone()]),
         Decision::Deny => Enforcement::Refused,
         Decision::PermitNarrowed(parts) => Enforcement::Proceed(parts),
-    };
-    (enforcement, cost)
+    }
 }
 
 #[cfg(test)]

@@ -1,14 +1,75 @@
 //! The policy repository (Figure 10: "in charge of storing policies").
+//!
+//! Storage carries two fast-path aids (DESIGN.md §7):
+//!
+//! * a per-user **rule index** bucketed by the first concrete path
+//!   segment below `/user` — `Pdp::decide` asks for
+//!   [`PolicyRepository::candidate_indices`] and examines only the
+//!   bucket of the request's own component plus the wildcard catch-all,
+//!   instead of every rule the user ever provisioned;
+//! * a **generation** stamp, bumped to a globally-unique value on every
+//!   write, which the decision memo compares to detect stale entries —
+//!   a PAP write anywhere invalidates exactly the memoized decisions of
+//!   the repository that changed, with no epoch ambiguity even across
+//!   metadata clones.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gupster_xpath::{NameTest, Path, PathInterner, Sym};
 
 use crate::rule::Rule;
+
+/// Hands out process-wide unique generation stamps. Starting at 1 keeps
+/// 0 free as "never written" for memo consumers.
+fn next_generation() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The per-user candidate index: rule positions bucketed by the scope's
+/// first concrete segment below `/user`. Scopes that leave the core
+/// fragment, or are too short to have one, live in the catch-all.
+#[derive(Debug, Clone, Default)]
+struct RuleIndex {
+    by_component: HashMap<Sym, Vec<usize>>,
+    catch_all: Vec<usize>,
+}
+
+impl RuleIndex {
+    fn build(rules: &[Rule]) -> RuleIndex {
+        let mut index = RuleIndex::default();
+        for (i, rule) in rules.iter().enumerate() {
+            match bucket_sym_for_scope(&rule.scope) {
+                Some(sym) => index.by_component.entry(sym).or_default().push(i),
+                None => index.catch_all.push(i),
+            }
+        }
+        index
+    }
+}
+
+/// The bucket a rule scope belongs to: the interned name of its second
+/// step (`/user/presence` → `presence`). `None` routes to the
+/// catch-all: wildcard scopes, attribute-axis components and scopes of
+/// a single step (`/user`) can relate to any request.
+fn bucket_sym_for_scope(scope: &Path) -> Option<Sym> {
+    if !scope.is_core_fragment() || scope.steps.len() < 2 {
+        return None;
+    }
+    match &scope.steps[1].test {
+        NameTest::Name(name) => Some(PathInterner::intern(name)),
+        _ => None,
+    }
+}
 
 /// Per-user rule storage. GUPster hosts one repository; hierarchical
 /// deployments (§5.1.2) host one per meta-data manager.
 #[derive(Debug, Clone, Default)]
 pub struct PolicyRepository {
     rules: BTreeMap<String, Vec<Rule>>,
+    index: BTreeMap<String, RuleIndex>,
+    generation: u64,
 }
 
 impl PolicyRepository {
@@ -22,6 +83,44 @@ impl PolicyRepository {
         self.rules.get(user).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// The repository's write generation. Bumped to a process-wide
+    /// unique value on every mutation; a memoized decision stamped with
+    /// an older generation is stale. `0` means "never written".
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Rule positions (into [`PolicyRepository::rules_for`]) that can
+    /// possibly apply to `request`, in rule order: the bucket of the
+    /// request's first component below `/user` plus the catch-all.
+    /// Sound because two core-fragment paths of ≥ 2 steps whose second
+    /// names differ can neither contain nor overlap one another.
+    /// Returns `None` when the request cannot be bucketed (wildcards,
+    /// or a bare `/user` request) — the caller must scan every rule.
+    pub fn candidate_indices(&self, user: &str, request: &Path) -> Option<Vec<usize>> {
+        if !request.is_core_fragment() || request.steps.len() < 2 {
+            return None;
+        }
+        let NameTest::Name(name) = &request.steps[1].test else {
+            return None;
+        };
+        let Some(index) = self.index.get(user) else {
+            return Some(Vec::new());
+        };
+        let mut out = index.catch_all.clone();
+        // Read-lock probe: a name no rule scope ever interned cannot
+        // have a bucket.
+        if let Some(sym) = PathInterner::lookup(name) {
+            if let Some(bucket) = index.by_component.get(&sym) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        // Rule order — so the indexed decision weighs rules in the
+        // exact order the naive scan would.
+        out.sort_unstable();
+        Some(out)
+    }
+
     /// Inserts a rule, replacing any rule with the same id.
     pub fn put(&mut self, user: &str, rule: Rule) {
         let rules = self.rules.entry(user.to_string()).or_default();
@@ -29,6 +128,8 @@ impl PolicyRepository {
             Some(slot) => *slot = rule,
             None => rules.push(rule),
         }
+        self.index.insert(user.to_string(), RuleIndex::build(rules));
+        self.generation = next_generation();
     }
 
     /// Removes a rule by id; returns whether it existed.
@@ -37,7 +138,12 @@ impl PolicyRepository {
             Some(rules) => {
                 let before = rules.len();
                 rules.retain(|r| r.id != rule_id);
-                rules.len() != before
+                let removed = rules.len() != before;
+                if removed {
+                    self.index.insert(user.to_string(), RuleIndex::build(rules));
+                    self.generation = next_generation();
+                }
+                removed
             }
             None => false,
         }
@@ -62,6 +168,10 @@ mod tests {
 
     fn rule(id: &str) -> Rule {
         Rule::permit(id, Path::parse("/user/presence").unwrap(), Condition::True)
+    }
+
+    fn scoped(id: &str, scope: &str) -> Rule {
+        Rule::permit(id, Path::parse(scope).unwrap(), Condition::True)
     }
 
     #[test]
@@ -95,5 +205,60 @@ mod tests {
         assert_eq!(repo.count_for("bob"), 1);
         assert_eq!(repo.total(), 2);
         assert!(repo.rules_for("carol").is_empty());
+    }
+
+    #[test]
+    fn generation_bumps_on_writes_only() {
+        let mut repo = PolicyRepository::new();
+        assert_eq!(repo.generation(), 0);
+        repo.put("alice", rule("r1"));
+        let g1 = repo.generation();
+        assert_ne!(g1, 0);
+        assert!(!repo.remove("alice", "ghost"));
+        assert_eq!(repo.generation(), g1, "no-op remove keeps the stamp");
+        assert!(repo.remove("alice", "r1"));
+        assert_ne!(repo.generation(), g1);
+        // Two repositories never share a written generation.
+        let mut other = PolicyRepository::new();
+        other.put("bob", rule("r1"));
+        assert_ne!(other.generation(), repo.generation());
+    }
+
+    #[test]
+    fn candidates_bucket_by_component_and_keep_rule_order() {
+        let mut repo = PolicyRepository::new();
+        repo.put("alice", scoped("r0", "/user/presence"));
+        repo.put("alice", scoped("r1", "/user/calendar"));
+        repo.put("alice", scoped("r2", "//item")); // wildcard → catch-all
+        repo.put("alice", scoped("r3", "/user")); // too short → catch-all
+        repo.put("alice", scoped("r4", "/user/presence/status"));
+
+        let req = Path::parse("/user/presence").unwrap();
+        assert_eq!(repo.candidate_indices("alice", &req), Some(vec![0, 2, 3, 4]));
+        let req = Path::parse("/user/calendar/event[@id='e']").unwrap();
+        assert_eq!(repo.candidate_indices("alice", &req), Some(vec![1, 2, 3]));
+        let req = Path::parse("/user/never-ruled-component").unwrap();
+        assert_eq!(repo.candidate_indices("alice", &req), Some(vec![2, 3]));
+        // Unbucketable requests force the full scan.
+        assert_eq!(repo.candidate_indices("alice", &Path::parse("/user").unwrap()), None);
+        assert_eq!(repo.candidate_indices("alice", &Path::parse("//presence").unwrap()), None);
+        // Unknown user: empty candidate set, not a scan.
+        assert_eq!(repo.candidate_indices("ghost", &req), Some(Vec::new()));
+    }
+
+    #[test]
+    fn index_follows_replacement_and_removal() {
+        let mut repo = PolicyRepository::new();
+        repo.put("alice", scoped("r0", "/user/presence"));
+        repo.put("alice", scoped("r1", "/user/calendar"));
+        // Replace r0 with a calendar scope: presence bucket must empty.
+        repo.put("alice", scoped("r0", "/user/calendar"));
+        let presence = Path::parse("/user/presence").unwrap();
+        let calendar = Path::parse("/user/calendar").unwrap();
+        assert_eq!(repo.candidate_indices("alice", &presence), Some(Vec::new()));
+        assert_eq!(repo.candidate_indices("alice", &calendar), Some(vec![0, 1]));
+        assert!(repo.remove("alice", "r0"));
+        assert_eq!(repo.candidate_indices("alice", &calendar), Some(vec![0]));
+        assert_eq!(repo.rules_for("alice")[0].id, "r1");
     }
 }

@@ -34,6 +34,12 @@ pub struct Counters {
     pub deadline_exceeded: AtomicU64,
     /// Results served from the stale cache after every rung failed.
     pub stale_serves: AtomicU64,
+    /// Coverage matches answered by the path-trie index.
+    pub trie_hits: AtomicU64,
+    /// Policy decisions served from the decision memo.
+    pub memo_hits: AtomicU64,
+    /// Coverage matches that fell back to the naive full scan.
+    pub fallback_scans: AtomicU64,
 }
 
 /// A point-in-time copy of the [`Counters`].
@@ -59,6 +65,12 @@ pub struct CounterSnapshot {
     pub deadline_exceeded: u64,
     /// Results served from the stale cache after every rung failed.
     pub stale_serves: u64,
+    /// Coverage matches answered by the path-trie index.
+    pub trie_hits: u64,
+    /// Policy decisions served from the decision memo.
+    pub memo_hits: u64,
+    /// Coverage matches that fell back to the naive full scan.
+    pub fallback_scans: u64,
 }
 
 impl Counters {
@@ -74,6 +86,9 @@ impl Counters {
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             stale_serves: self.stale_serves.load(Ordering::Relaxed),
+            trie_hits: self.trie_hits.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            fallback_scans: self.fallback_scans.load(Ordering::Relaxed),
         }
     }
 
@@ -88,6 +103,9 @@ impl Counters {
         self.fallbacks.store(0, Ordering::Relaxed);
         self.deadline_exceeded.store(0, Ordering::Relaxed);
         self.stale_serves.store(0, Ordering::Relaxed);
+        self.trie_hits.store(0, Ordering::Relaxed);
+        self.memo_hits.store(0, Ordering::Relaxed);
+        self.fallback_scans.store(0, Ordering::Relaxed);
     }
 }
 
@@ -226,11 +244,15 @@ mod tests {
         hub.counters().lookups.fetch_add(3, Ordering::Relaxed);
         hub.counters().cache_hits.fetch_add(1, Ordering::Relaxed);
         hub.counters().signature_verifications.fetch_add(2, Ordering::Relaxed);
+        hub.counters().trie_hits.fetch_add(7, Ordering::Relaxed);
+        hub.counters().memo_hits.fetch_add(5, Ordering::Relaxed);
+        hub.counters().fallback_scans.fetch_add(1, Ordering::Relaxed);
         let snap = hub.counter_snapshot();
         assert_eq!(snap.lookups, 3);
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.signature_verifications, 2);
         assert_eq!(snap.policy_denials, 0);
+        assert_eq!((snap.trie_hits, snap.memo_hits, snap.fallback_scans), (7, 5, 1));
         hub.reset_counters();
         assert_eq!(hub.counter_snapshot(), CounterSnapshot::default());
     }

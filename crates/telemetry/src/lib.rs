@@ -41,6 +41,8 @@ pub mod stage {
     pub const REGISTRY_LOOKUP: &str = "registry.lookup";
     /// Matching the (rewritten) request against the coverage map.
     pub const COVERAGE_MATCH: &str = "coverage.match";
+    /// The trie-index candidate walk inside a coverage match.
+    pub const COVERAGE_INDEX: &str = "coverage.index";
     /// The privacy shield's decision (PDP rule evaluation).
     pub const POLICY_DECIDE: &str = "policy.decide";
     /// Rewriting the request (narrowing + user-id injection).

@@ -27,10 +27,12 @@
 mod ast;
 mod containment;
 mod eval;
+mod intern;
 mod lexer;
 mod locate;
 mod parser;
 
 pub use ast::{Axis, LocStep, NameTest, Path, Predicate};
 pub use containment::{contains, covers, may_overlap};
+pub use intern::{InternedPath, InternedStep, PathCache, PathInterner, Sym};
 pub use parser::XPathError;
