@@ -34,11 +34,19 @@ pub struct BenchRow {
     pub mean_candidates: f64,
 }
 
-/// Serializes rows as line-oriented JSON (one row object per line).
+/// Serializes rows as line-oriented JSON (one row object per line)
+/// under the historical `e16_registry_scale` experiment name.
 pub fn render(mode: &str, rows: &[BenchRow]) -> String {
+    render_named("e16_registry_scale", mode, rows)
+}
+
+/// Serializes rows for an arbitrary experiment (`e17_shards` writes
+/// `BENCH_shards.json` through this). The parser ignores the
+/// experiment line, so all artifacts share one row format.
+pub fn render_named(experiment: &str, mode: &str, rows: &[BenchRow]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
-    let _ = writeln!(s, "  \"experiment\": \"e16_registry_scale\",");
+    let _ = writeln!(s, "  \"experiment\": \"{experiment}\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(s, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {

@@ -14,6 +14,13 @@
 //! sweep) are skipped, as are rows without a simulated measurement.
 //! Only `indexed_sim_ops` is gated — it derives from the deterministic
 //! stage cost model, so the threshold never flakes on machine speed.
+//!
+//! `BENCH_shards.json` (E17) rides the same row gate plus one extra
+//! check: the *scaling ratio* (`indexed_sim_ops / naive_sim_ops`, i.e.
+//! sharded throughput over the 1-shard run) at the widest common shard
+//! count must stay within 15% of the baseline ratio — a change can
+//! keep absolute throughput while quietly flattening the scaling
+//! curve, and this catches that.
 
 use gupster_bench::benchjson::{parse, BenchRow};
 
@@ -78,9 +85,45 @@ fn main() {
         eprintln!("bench_compare: no comparable rows between {baseline_path} and {fresh_path}");
         std::process::exit(2);
     }
+    failed += check_scaling(&baseline, &fresh);
     if failed > 0 {
         eprintln!("bench_compare: {failed}/{compared} rows regressed past the {:.0}% floor", FLOOR * 100.0);
         std::process::exit(1);
     }
     println!("bench_compare: {compared} rows within {:.0}% of baseline", FLOOR * 100.0);
+}
+
+/// The E17 shards gate: at the widest shard count present in both
+/// files, the speedup over the 1-shard run must stay within the floor
+/// of the baseline's speedup. Returns the number of failures (0 when
+/// neither file carries `shards` rows).
+fn check_scaling(baseline: &[BenchRow], fresh: &[BenchRow]) -> usize {
+    let speedup_at_max = |rows: &[BenchRow], scale: u64| -> Option<f64> {
+        let r = rows.iter().find(|r| r.kind == "shards" && r.scale == scale)?;
+        if r.naive_sim_ops <= 0.0 {
+            return None;
+        }
+        Some(r.indexed_sim_ops / r.naive_sim_ops)
+    };
+    let Some(scale) = baseline
+        .iter()
+        .filter(|b| {
+            b.kind == "shards" && fresh.iter().any(|f| f.kind == "shards" && f.scale == b.scale)
+        })
+        .map(|b| b.scale)
+        .max()
+    else {
+        return 0;
+    };
+    let (Some(base), Some(new)) = (speedup_at_max(baseline, scale), speedup_at_max(fresh, scale))
+    else {
+        return 0;
+    };
+    let ratio = new / base;
+    let ok = ratio >= FLOOR;
+    println!(
+        "scaling @ {scale} shards: baseline {base:.2}x, fresh {new:.2}x ({ratio:.2} of baseline)  {}",
+        if ok { "ok" } else { "REGRESSION (scaling curve flattened >15%)" }
+    );
+    usize::from(!ok)
 }

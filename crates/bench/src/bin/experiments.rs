@@ -13,7 +13,7 @@
 use gupster_bench::experiments;
 
 fn usage() -> ! {
-    eprintln!("usage: experiments [--trace-out <path>] <e1..e16 | all>...");
+    eprintln!("usage: experiments [--trace-out <path>] <e1..e17 | all>...");
     std::process::exit(2);
 }
 
@@ -39,7 +39,7 @@ fn main() {
     }
     for a in &picks {
         if !experiments::run(a) {
-            eprintln!("unknown experiment '{a}' (expected e1..e16 or all)");
+            eprintln!("unknown experiment '{a}' (expected e1..e17 or all)");
             std::process::exit(2);
         }
     }

@@ -114,6 +114,7 @@ pub fn run() {
                     client: w.client,
                     gupster_node: w.gupster_node,
                     store_nodes: w.store_nodes.clone(),
+                    batch_fetches: false,
                 };
                 let run = exec
                     .execute(
@@ -176,6 +177,7 @@ mod tests {
                 client: w.client,
                 gupster_node: w.gupster_node,
                 store_nodes: w.store_nodes.clone(),
+                    batch_fetches: false,
             };
             let run = exec
                 .execute(

@@ -23,6 +23,7 @@ pub mod e13_containment;
 pub mod e14_cache;
 pub mod e15_reliability;
 pub mod e16_registry_scale;
+pub mod e17_shards;
 
 static TRACE_OUT: OnceLock<PathBuf> = OnceLock::new();
 /// Request-id offset for the next dumped hub, so traces from several
@@ -60,7 +61,7 @@ pub fn dump_traces(hub: &TelemetryHub) {
     }
 }
 
-/// Runs one experiment by id (`e1`…`e16`), or `all`.
+/// Runs one experiment by id (`e1`…`e17`), or `all`.
 pub fn run(which: &str) -> bool {
     match which {
         "e1" => e01_placement::run(),
@@ -79,8 +80,9 @@ pub fn run(which: &str) -> bool {
         "e14" => e14_cache::run(),
         "e15" => e15_reliability::run(),
         "e16" => e16_registry_scale::run(),
+        "e17" => e17_shards::run(),
         "all" => {
-            for i in 1..=16 {
+            for i in 1..=17 {
                 run(&format!("e{i}"));
             }
         }

@@ -3,7 +3,7 @@
 //! the referral (one of them, or both) to get the data directly from the
 //! GUP data stores").
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::Ordering;
 
 use gupster_netsim::SimTime;
@@ -64,9 +64,10 @@ impl StorePool {
         }
     }
 
-    /// All store ids.
-    pub fn ids(&self) -> Vec<StoreId> {
-        self.stores.keys().cloned().collect()
+    /// All store ids, in key order. Borrows instead of cloning — the
+    /// pool may hold thousands of ids and callers usually just iterate.
+    pub fn ids(&self) -> impl Iterator<Item = &StoreId> + '_ {
+        self.stores.keys()
     }
 
     /// Applies an update to one store.
@@ -82,15 +83,16 @@ impl StorePool {
         }
     }
 
-    /// Drains change events from every store.
-    pub fn drain_all_events(&mut self) -> Vec<(StoreId, gupster_store::ChangeEvent)> {
-        let mut out = Vec::new();
-        for (id, s) in &mut self.stores {
-            for e in s.drain_events() {
-                out.push((id.clone(), e));
-            }
-        }
-        out
+    /// Drains change events from every store, lazily: events are pulled
+    /// store by store as the iterator advances, borrowing the id rather
+    /// than reallocating a `(StoreId, event)` vector per pump.
+    #[must_use = "the iterator is lazy — unconsumed stores keep their events"]
+    pub fn drain_all_events(
+        &mut self,
+    ) -> impl Iterator<Item = (&StoreId, gupster_store::ChangeEvent)> + '_ {
+        self.stores
+            .iter_mut()
+            .flat_map(|(id, s)| s.drain_events().into_iter().map(move |e| (&*id, e)))
     }
 }
 
@@ -109,7 +111,7 @@ pub fn fetch_merge(
     now: u64,
     keys: &MergeKeys,
 ) -> Result<Vec<Element>, GupsterError> {
-    fetch_merge_inner(pool, referral, store_signer, now, keys, None)
+    fetch_merge_inner(pool, referral, store_signer, now, keys, None, false)
 }
 
 /// [`fetch_merge`] nested under a caller-owned trace: records a
@@ -124,7 +126,40 @@ pub fn fetch_merge_traced(
     tracer: &mut Tracer,
 ) -> Result<Vec<Element>, GupsterError> {
     tracer.enter(stage::FETCH_MERGE);
-    let out = fetch_merge_inner(pool, referral, store_signer, now, keys, Some(tracer));
+    let out = fetch_merge_inner(pool, referral, store_signer, now, keys, Some(tracer), false);
+    tracer.exit();
+    out
+}
+
+/// [`fetch_merge`] with per-store batching: a merge referral's
+/// fragments are grouped by destination store and each store is charged
+/// **one** fetch round (one ~50µs header) for its whole group instead
+/// of one per fragment. Queries still run in referral-entry order, so
+/// the merged result — and the error observed when a store is down —
+/// are byte-identical to the unbatched path.
+pub fn fetch_merge_batched(
+    pool: &StorePool,
+    referral: &Referral,
+    store_signer: &Signer,
+    now: u64,
+    keys: &MergeKeys,
+) -> Result<Vec<Element>, GupsterError> {
+    fetch_merge_inner(pool, referral, store_signer, now, keys, None, true)
+}
+
+/// [`fetch_merge_batched`] nested under a caller-owned trace; records
+/// one `store.fetch` span per destination store and bumps the
+/// batched-fetch counter per coalesced round.
+pub fn fetch_merge_batched_traced(
+    pool: &StorePool,
+    referral: &Referral,
+    store_signer: &Signer,
+    now: u64,
+    keys: &MergeKeys,
+    tracer: &mut Tracer,
+) -> Result<Vec<Element>, GupsterError> {
+    tracer.enter(stage::FETCH_MERGE);
+    let out = fetch_merge_inner(pool, referral, store_signer, now, keys, Some(tracer), true);
     tracer.exit();
     out
 }
@@ -136,6 +171,7 @@ fn fetch_merge_inner(
     now: u64,
     keys: &MergeKeys,
     mut tracer: Option<&mut Tracer>,
+    batch: bool,
 ) -> Result<Vec<Element>, GupsterError> {
     // Every store checks the token before answering (§5.3).
     if let Some(t) = tracer.as_deref_mut() {
@@ -153,7 +189,34 @@ fn fetch_merge_inner(
             t.span(stage::STORE_FETCH, fetch_cost(bytes));
         }
     };
-    if referral.merge_required {
+    if referral.merge_required && batch {
+        // Batched: fragments bound for the same store share one fetch
+        // round. Queries run in entry order (identical fragment order
+        // and error precedence to the unbatched arm below); only the
+        // cost accounting coalesces — one header charge per store over
+        // the group's total bytes.
+        let mut group_order: Vec<&StoreId> = Vec::new();
+        let mut group_bytes: HashMap<&StoreId, usize> = HashMap::new();
+        for entry in &referral.entries {
+            let store = pool.get(&entry.store).ok_or_else(|| {
+                GupsterError::Store(format!("store {} unreachable", entry.store))
+            })?;
+            let got =
+                store.query(&entry.path).map_err(|e| GupsterError::Store(e.to_string()))?;
+            let bytes: usize = got.iter().map(Element::byte_size).sum();
+            if !group_bytes.contains_key(&entry.store) {
+                group_order.push(&entry.store);
+            }
+            *group_bytes.entry(&entry.store).or_default() += bytes;
+            fragments.extend(got);
+        }
+        if let Some(t) = tracer.as_deref_mut() {
+            for store in &group_order {
+                t.hub().counters().batched_fetches.fetch_add(1, Ordering::Relaxed);
+                t.span(stage::STORE_FETCH, fetch_cost(group_bytes[store]));
+            }
+        }
+    } else if referral.merge_required {
         // Every fragment source must answer (there is no alternative
         // holding the same fragment unless it was listed as a choice).
         for entry in &referral.entries {
@@ -219,6 +282,83 @@ fn fetch_merge_inner(
         out.push(frag);
     }
     Ok(out)
+}
+
+/// A singleflight table: dedups identical in-flight
+/// `(owner, requester, referral)` fetches within one scatter window, so
+/// a burst of identical requests hits each store **once** and every
+/// duplicate is served a clone of the first answer.
+///
+/// The table is window-scoped by construction: callers create one per
+/// scatter-gather batch (stores are quiescent within a window) and drop
+/// it afterwards — there is no TTL and no invalidation, which is what
+/// keeps a hit byte-identical to a recompute. Cross-window caching is
+/// [`crate::cache::CachedClient`]'s job.
+#[derive(Debug, Default)]
+pub struct Singleflight {
+    table: HashMap<String, Vec<Element>>,
+    /// Fetches answered from the table.
+    pub hits: u64,
+    /// Fetches that went to the stores.
+    pub misses: u64,
+}
+
+impl Singleflight {
+    /// An empty table for one scatter window.
+    pub fn new() -> Self {
+        Singleflight::default()
+    }
+
+    /// The coalescing key: owner, requester and the full referral shape
+    /// (every `store=path` entry plus the merge/choice marker). Two
+    /// requests coalesce only when the registry resolved them to the
+    /// same fragments for the same principal.
+    pub fn key(referral: &Referral, requester: &str) -> String {
+        let mut k = String::with_capacity(64);
+        k.push_str(&referral.token.user);
+        k.push('\u{0}');
+        k.push_str(requester);
+        k.push('\u{0}');
+        k.push(if referral.merge_required { '+' } else { '|' });
+        for e in &referral.entries {
+            k.push('\u{0}');
+            k.push_str(&e.store.0);
+            k.push('=');
+            k.push_str(&e.path.to_string());
+        }
+        k
+    }
+
+    /// [`fetch_merge`] through the table: a duplicate of an in-window
+    /// fetch returns a clone of the first answer without touching the
+    /// pool. `batch` selects the batched cost model on a miss; errors
+    /// are never cached (the next duplicate retries the stores).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_merge(
+        &mut self,
+        pool: &StorePool,
+        referral: &Referral,
+        requester: &str,
+        store_signer: &Signer,
+        now: u64,
+        keys: &MergeKeys,
+        batch: bool,
+        mut tracer: Option<&mut Tracer>,
+    ) -> Result<Vec<Element>, GupsterError> {
+        let key = Self::key(referral, requester);
+        if let Some(hit) = self.table.get(&key) {
+            self.hits += 1;
+            if let Some(t) = tracer.as_deref_mut() {
+                t.hub().counters().singleflight_hits.fetch_add(1, Ordering::Relaxed);
+                t.span(stage::SINGLEFLIGHT_HIT, SimTime::micros(1));
+            }
+            return Ok(hit.clone());
+        }
+        let out = fetch_merge_inner(pool, referral, store_signer, now, keys, tracer, batch)?;
+        self.misses += 1;
+        self.table.insert(key, out.clone());
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +547,53 @@ mod tests {
     }
 
     #[test]
+    fn batched_fetch_identical_to_unbatched() {
+        let (mut g, pool) = split_world();
+        let out = g
+            .lookup(
+                "arnaud",
+                &p("/user[@id='arnaud']/address-book"),
+                "arnaud",
+                Purpose::Query,
+                WeekTime::at(0, 12, 0),
+                100,
+            )
+            .unwrap();
+        let signer = g.signer();
+        let plain = fetch_merge(&pool, &out.referral, &signer, 110, &keys()).unwrap();
+        let batched = fetch_merge_batched(&pool, &out.referral, &signer, 110, &keys()).unwrap();
+        assert_eq!(plain, batched);
+    }
+
+    #[test]
+    fn singleflight_serves_duplicates_from_first_answer() {
+        let (mut g, pool) = split_world();
+        let out = g
+            .lookup(
+                "arnaud",
+                &p("/user[@id='arnaud']/address-book"),
+                "arnaud",
+                Purpose::Query,
+                WeekTime::at(0, 12, 0),
+                100,
+            )
+            .unwrap();
+        let signer = g.signer();
+        let mut sf = Singleflight::new();
+        let first = sf
+            .fetch_merge(&pool, &out.referral, "arnaud", &signer, 110, &keys(), false, None)
+            .unwrap();
+        let second = sf
+            .fetch_merge(&pool, &out.referral, "arnaud", &signer, 110, &keys(), false, None)
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!((sf.hits, sf.misses), (1, 1));
+        // A different requester never coalesces onto another principal's
+        // answer.
+        assert_ne!(Singleflight::key(&out.referral, "arnaud"), Singleflight::key(&out.referral, "mallory"));
+    }
+
+    #[test]
     fn pool_update_and_events() {
         let (_, mut pool) = split_world();
         pool.update(
@@ -415,9 +602,10 @@ mod tests {
             &UpdateOp::SetText(p("/user/address-book/item[@id='1']/name"), "Mother".into()),
         )
         .unwrap();
-        let events = pool.drain_all_events();
+        let events: Vec<_> = pool.drain_all_events().map(|(id, e)| (id.clone(), e)).collect();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].0, StoreId::new("gup.yahoo.com"));
+        assert_eq!(pool.ids().count(), 2);
         assert!(pool
             .update(&StoreId::new("ghost"), "arnaud", &UpdateOp::Delete(p("/user/presence")))
             .is_err());

@@ -41,10 +41,14 @@ mod referral;
 mod registry;
 pub mod resilience;
 mod sha256;
+pub mod shard;
 pub mod subs;
 mod token;
 
-pub use client::{fetch_merge, fetch_merge_traced, StorePool};
+pub use client::{
+    fetch_merge, fetch_merge_batched, fetch_merge_batched_traced, fetch_merge_traced,
+    Singleflight, StorePool,
+};
 pub use constellation::Constellation;
 pub use coverage::{CoverageMap, CoverageMatch, MatchStats};
 pub use provenance::{Disclosure, ProvenanceLog};
@@ -52,5 +56,6 @@ pub use error::GupsterError;
 pub use referral::{Referral, ReferralEntry};
 pub use registry::{Gupster, LookupOutcome, RegistryStats};
 pub use resilience::{ResilientExecutor, ResilientRun, RetryPolicy, ServedVia};
+pub use shard::{BatchReport, ShardRequest, ShardedRegistry};
 pub use sha256::{hmac_sha256, sha256_hex};
 pub use token::{SignedQuery, Signer, TokenError};

@@ -19,7 +19,7 @@ use gupster_telemetry::{stage, RequestId, Tracer};
 use gupster_xml::{Element, MergeKeys};
 use gupster_xpath::Path;
 
-use crate::client::{fetch_merge_traced, StorePool};
+use crate::client::{fetch_merge_batched_traced, fetch_merge_traced, StorePool};
 use crate::error::GupsterError;
 use crate::registry::Gupster;
 
@@ -80,6 +80,38 @@ pub struct PatternExecutor<'a> {
     pub gupster_node: NodeId,
     /// Where each store lives.
     pub store_nodes: HashMap<StoreId, NodeId>,
+    /// When set, a referral's fragments are grouped by destination
+    /// store and each group travels as **one** coalesced RPC (one
+    /// header charge per destination instead of per fragment — see
+    /// [`Journey::try_batch_rpcs`]); the fetch/merge side charges one
+    /// fetch round per store ([`fetch_merge_batched_traced`]). The
+    /// merged answer is byte-identical either way.
+    pub batch_fetches: bool,
+}
+
+/// Groups per-fragment calls by destination node, preserving first-seen
+/// order: one `(node, request, response, fragments)` batch call per
+/// distinct node. The request carries one header plus ~16 bytes per
+/// additional fragment path; the response carries the group's summed
+/// fragment bytes.
+fn group_calls(frag_bytes: &[(NodeId, usize)], header: usize) -> Vec<(NodeId, usize, usize, u64)> {
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut agg: HashMap<NodeId, (usize, u64)> = HashMap::new();
+    for (node, bytes) in frag_bytes {
+        let slot = agg.entry(*node).or_insert_with(|| {
+            order.push(*node);
+            (0, 0)
+        });
+        slot.0 += *bytes;
+        slot.1 += 1;
+    }
+    order
+        .into_iter()
+        .map(|node| {
+            let (bytes, frags) = agg[&node];
+            (node, header + 16 * (frags as usize - 1), bytes, frags)
+        })
+        .collect()
 }
 
 /// Local merge throughput: ~100 MB/s ⇒ 10 µs per KB.
@@ -93,6 +125,45 @@ impl<'a> PatternExecutor<'a> {
             .get(id)
             .copied()
             .ok_or_else(|| GupsterError::Store(format!("no node for store {id}")))
+    }
+
+    /// The fragment fan-out leg from `from`: per-fragment parallel RPCs,
+    /// or one coalesced RPC per destination store when
+    /// [`PatternExecutor::batch_fetches`] is set.
+    fn fetch_fan_out(
+        &self,
+        journey: &mut Journey,
+        from: NodeId,
+        frag_bytes: &[(NodeId, usize)],
+        header: usize,
+    ) -> Result<(), gupster_netsim::NetError> {
+        if self.batch_fetches {
+            journey.try_batch_rpcs(self.net, from, &group_calls(frag_bytes, header))?;
+        } else {
+            let calls: Vec<(NodeId, usize, usize)> =
+                frag_bytes.iter().map(|(node, bytes)| (*node, header, *bytes)).collect();
+            journey.try_parallel_rpcs(self.net, from, &calls)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches and merges the referral with the cost model matching the
+    /// configured fan-out shape.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_leg(
+        &self,
+        pool: &StorePool,
+        referral: &crate::referral::Referral,
+        signer: &crate::token::Signer,
+        now: u64,
+        keys: &MergeKeys,
+        tracer: &mut Tracer,
+    ) -> Result<Vec<Element>, GupsterError> {
+        if self.batch_fetches {
+            fetch_merge_batched_traced(pool, referral, signer, now, keys, tracer)
+        } else {
+            fetch_merge_traced(pool, referral, signer, now, keys, tracer)
+        }
     }
 
     /// Runs one pattern end to end.
@@ -197,15 +268,16 @@ impl<'a> PatternExecutor<'a> {
                 journey.try_rpc(self.net, self.client, self.gupster_node, request_bytes, referral.byte_size())?;
                 tracer.span(stage::NET_LOOKUP, leg(&journey, t0));
                 // …then the client fetches all fragments in parallel…
-                let calls: Vec<(NodeId, usize, usize)> = frag_bytes
-                    .iter()
-                    .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
-                    .collect();
                 let t0 = journey.elapsed();
-                journey.try_parallel_rpcs(self.net, self.client, &calls)?;
+                self.fetch_fan_out(
+                    &mut journey,
+                    self.client,
+                    &frag_bytes,
+                    referral.token.byte_size() + 32,
+                )?;
                 tracer.span(stage::NET_FETCH, leg(&journey, t0));
                 // …and merges locally.
-                let result = fetch_merge_traced(pool, referral, &signer, now, keys, tracer)?;
+                let result = self.fetch_leg(pool, referral, &signer, now, keys, tracer)?;
                 journey.compute(merge_cost(total_frag_bytes));
                 (result, total_frag_bytes, 0)
             }
@@ -215,14 +287,15 @@ impl<'a> PatternExecutor<'a> {
                 let t0 = journey.elapsed();
                 journey.try_send(self.net, self.client, self.gupster_node, request_bytes)?;
                 tracer.span(stage::NET_LOOKUP, leg(&journey, t0));
-                let calls: Vec<(NodeId, usize, usize)> = frag_bytes
-                    .iter()
-                    .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
-                    .collect();
                 let t0 = journey.elapsed();
-                journey.try_parallel_rpcs(self.net, self.gupster_node, &calls)?;
+                self.fetch_fan_out(
+                    &mut journey,
+                    self.gupster_node,
+                    &frag_bytes,
+                    referral.token.byte_size() + 32,
+                )?;
                 tracer.span(stage::NET_FETCH, leg(&journey, t0));
-                let result = fetch_merge_traced(pool, referral, &signer, now, keys, tracer)?;
+                let result = self.fetch_leg(pool, referral, &signer, now, keys, tracer)?;
                 journey.compute(merge_cost(total_frag_bytes));
                 let result_bytes: usize = result.iter().map(Element::byte_size).sum();
                 let t0 = journey.elapsed();
@@ -257,15 +330,20 @@ impl<'a> PatternExecutor<'a> {
                 journey.try_send(self.net, self.gupster_node, exec_node, referral.byte_size())?;
                 tracer.span(stage::NET_LOOKUP, leg(&journey, t0));
                 // Executor fetches the *other* fragments in parallel.
-                let calls: Vec<(NodeId, usize, usize)> = frag_bytes
+                let remote: Vec<(NodeId, usize)> = frag_bytes
                     .iter()
                     .filter(|(node, _)| *node != exec_node)
-                    .map(|(node, bytes)| (*node, referral.token.byte_size() + 32, *bytes))
+                    .copied()
                     .collect();
                 let t0 = journey.elapsed();
-                journey.try_parallel_rpcs(self.net, exec_node, &calls)?;
+                self.fetch_fan_out(
+                    &mut journey,
+                    exec_node,
+                    &remote,
+                    referral.token.byte_size() + 32,
+                )?;
                 tracer.span(stage::NET_FETCH, leg(&journey, t0));
-                let result = fetch_merge_traced(pool, referral, &signer, now, keys, tracer)?;
+                let result = self.fetch_leg(pool, referral, &signer, now, keys, tracer)?;
                 journey.compute(merge_cost(total_frag_bytes));
                 let result_bytes: usize = result.iter().map(Element::byte_size).sum();
                 let t0 = journey.elapsed();
@@ -291,6 +369,7 @@ impl<'a> PatternExecutor<'a> {
 mod tests {
     use super::*;
     use gupster_netsim::Domain;
+    use gupster_policy::Effect;
     use gupster_schema::gup_schema;
     use gupster_store::{DataStore, XmlStore};
     use gupster_xml::parse;
@@ -366,6 +445,7 @@ mod tests {
             client: w.client,
             gupster_node: w.gupster_node,
             store_nodes: w.nodes.clone(),
+            batch_fetches: false,
         };
         exec.execute(
             pattern,
@@ -426,6 +506,60 @@ mod tests {
     }
 
     #[test]
+    fn batched_fetches_same_answer_fewer_messages() {
+        let mut w = world();
+        // Within one permitted path the referral lists each store at
+        // most once, so multi-fragment stores arise from the shield
+        // narrowing a request into several permitted paths. Rick's
+        // rules split the address-book query into `item` (partial on
+        // both stores) plus `item[@type='personal']` (full on yahoo) —
+        // three fragments, two of them bound for yahoo.
+        w.gupster.set_relationship("arnaud", "rick", "co-worker");
+        for (id, scope) in [
+            ("cw-items", "/user/address-book/item"),
+            ("cw-pers", "/user/address-book/item[@type='personal']"),
+        ] {
+            w.gupster
+                .pap
+                .provision("arnaud", id, Effect::Permit, scope, "relationship='co-worker'", 0)
+                .unwrap();
+        }
+        let run_as_rick = |w: &mut World, batch: bool| {
+            let exec = PatternExecutor {
+                net: &w.net,
+                client: w.client,
+                gupster_node: w.gupster_node,
+                store_nodes: w.nodes.clone(),
+                batch_fetches: batch,
+            };
+            exec.execute(
+                QueryPattern::Referral,
+                &mut w.gupster,
+                &w.pool,
+                "arnaud",
+                &p("/user[@id='arnaud']/address-book"),
+                "rick",
+                WeekTime::at(0, 12, 0),
+                100,
+                &MergeKeys::new().with_key("item", "id"),
+            )
+            .unwrap()
+        };
+        let plain = run_as_rick(&mut w, false);
+        let batched = run_as_rick(&mut w, true);
+        assert_eq!(plain.result, batched.result);
+        // 3 fragments: unbatched = 3 fetch RPCs + lookup = 8 messages;
+        // batched = 2 per-store RPCs + lookup = 6.
+        assert_eq!(plain.messages, 8);
+        assert_eq!(batched.messages, 6);
+        let m = w.net.metrics();
+        assert_eq!(m.batched_rpcs, 2);
+        assert_eq!(m.coalesced_fragments, 3);
+        let hub = w.gupster.telemetry();
+        assert_eq!(hub.counter_snapshot().batched_fetches, 2);
+    }
+
+    #[test]
     fn every_pattern_yields_one_rooted_trace_with_hops() {
         let mut w = world();
         for pattern in
@@ -437,6 +571,7 @@ mod tests {
                     client: w.client,
                     gupster_node: w.gupster_node,
                     store_nodes: w.nodes.clone(),
+            batch_fetches: false,
                 };
                 exec.execute(
                     pattern,
@@ -505,7 +640,7 @@ mod tests {
         let mut nodes = HashMap::new();
         nodes.insert(StoreId::new("gup.a.com"), a_node);
         nodes.insert(StoreId::new("gup.b.com"), b_node);
-        let exec = PatternExecutor { net: &net, client, gupster_node, store_nodes: nodes };
+        let exec = PatternExecutor { net: &net, client, gupster_node, store_nodes: nodes, batch_fetches: false };
         let err = exec
             .execute(
                 QueryPattern::Recruiting,
@@ -552,7 +687,7 @@ mod tests {
             .unwrap();
         let mut nodes = HashMap::new();
         nodes.insert(StoreId::new("gup.a.com"), a_node);
-        let exec = PatternExecutor { net: &net, client, gupster_node, store_nodes: nodes };
+        let exec = PatternExecutor { net: &net, client, gupster_node, store_nodes: nodes, batch_fetches: false };
         let run = exec
             .execute(
                 QueryPattern::Recruiting,

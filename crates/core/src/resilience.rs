@@ -159,6 +159,14 @@ impl<'a> ResilientExecutor<'a> {
         self
     }
 
+    /// Toggles per-store batched fetches on the underlying pattern
+    /// executor — every rung of the ladder (and every retry) then moves
+    /// fragments as one coalesced RPC per destination store.
+    pub fn with_batched_fetches(mut self, on: bool) -> Self {
+        self.exec.batch_fetches = on;
+        self
+    }
+
     /// The stale cache (for inspecting hit/miss counts in tests).
     pub fn stale_cache(&self) -> &ResultCache {
         &self.stale

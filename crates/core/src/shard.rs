@@ -1,0 +1,439 @@
+//! The sharded front end: hash-partitioning the registry by user and
+//! running lookups on real threads.
+//!
+//! The paper sizes GUPster for "hundreds of millions of users" (§3) —
+//! one core doesn't get there. Everything that affects a lookup's
+//! *output* is keyed by the profile owner: the coverage trie, the
+//! decision memo, the owner's policies and relationships. That makes
+//! the registry embarrassingly partitionable: a [`ShardedRegistry`]
+//! owns N independent [`Gupster`] shards and routes every user to
+//! exactly one of them by a stable hash, so shard workers never share
+//! mutable state and never need a lock.
+//!
+//! **Determinism argument.** A seeded workload produces byte-identical
+//! referrals and answers to the sequential path regardless of shard
+//! count or thread interleaving, because
+//!
+//! 1. a user's requests all land on that user's one shard, in their
+//!    original submission order (per-shard FIFO);
+//! 2. no lookup output depends on another user's state — stats,
+//!    provenance and telemetry are side channels, and a decision-memo
+//!    hit returns the same decision a recompute would;
+//! 3. the referral token is an HMAC over `(owner, requester, paths,
+//!    now)` with the shared key — shard-independent;
+//! 4. the gather step merges results into **stable request order**
+//!    (the scatter index), not completion order.
+//!
+//! Scatter-gather uses `std::thread::scope` workers over persistent
+//! shard state — zero external deps, and the borrow checker proves the
+//! partitioning (each worker holds `&mut` to exactly one shard).
+
+use std::thread;
+
+use gupster_netsim::SimTime;
+use gupster_policy::{Purpose, WeekTime};
+use gupster_schema::Schema;
+use gupster_store::StoreId;
+use gupster_telemetry::{stage, CounterSnapshot, Tracer};
+use gupster_xml::{Element, MergeKeys};
+use gupster_xpath::Path;
+
+use crate::client::{Singleflight, StorePool};
+use crate::error::GupsterError;
+use crate::registry::{Gupster, LookupOutcome};
+
+// The scatter workers move `&mut Gupster` into scoped threads and share
+// `&StorePool` between them; both bounds are load-bearing, so break the
+// build loudly if a field ever loses them.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<Gupster>();
+    assert_sync::<StorePool>();
+};
+
+/// Stable FNV-1a over the user id — the shard route must not depend on
+/// `std` hasher seeding, so per-shard counters and load factors are
+/// reproducible run to run.
+fn shard_hash(user: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in user.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One request in a scatter batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRequest {
+    /// The profile owner (the shard route).
+    pub owner: String,
+    /// The requested path.
+    pub path: Path,
+    /// The requesting principal.
+    pub requester: String,
+    /// The request's purpose (shield context).
+    pub purpose: Purpose,
+    /// The request's week-time (shield context).
+    pub time: WeekTime,
+    /// Profile-clock seconds (token timestamp).
+    pub now: u64,
+}
+
+/// Per-batch execution accounting from the scatter-gather run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Simulated busy time each shard spent on its slice of the batch
+    /// (sum of its requests' traced pipeline costs).
+    pub shard_sim: Vec<SimTime>,
+    /// The simulated makespan: the busiest shard's time — what a
+    /// wall clock would show with one core per shard.
+    pub makespan: SimTime,
+    /// Total simulated work across all shards (the one-core cost).
+    pub total_sim: SimTime,
+}
+
+impl BatchReport {
+    fn from_shard_sim(shard_sim: Vec<SimTime>) -> Self {
+        let makespan = shard_sim.iter().copied().max().unwrap_or(SimTime::ZERO);
+        let total_sim = SimTime(shard_sim.iter().map(|t| t.0).sum());
+        BatchReport { shard_sim, makespan, total_sim }
+    }
+}
+
+/// N independent [`Gupster`] shards behind one facade: mutations route
+/// to the owning shard, batches scatter across shard worker threads
+/// and gather in stable request order.
+#[derive(Debug)]
+pub struct ShardedRegistry {
+    shards: Vec<Gupster>,
+}
+
+impl ShardedRegistry {
+    /// Builds `shards` independent registries over one schema and one
+    /// shared signing key (tokens verify identically across shards).
+    ///
+    /// # Panics
+    /// When `shards` is zero.
+    pub fn new(schema: Schema, key: &[u8], shards: usize) -> Self {
+        assert!(shards >= 1, "a ShardedRegistry needs at least one shard");
+        ShardedRegistry {
+            shards: (0..shards).map(|_| Gupster::new(schema.clone(), key)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `user`.
+    pub fn shard_of(&self, user: &str) -> usize {
+        (shard_hash(user) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard owning `user`.
+    pub fn shard(&self, user: &str) -> &Gupster {
+        &self.shards[self.shard_of(user)]
+    }
+
+    /// Mutable access to the shard owning `user` — policy provisioning
+    /// and other owner-keyed mutations go through here.
+    pub fn shard_mut(&mut self, user: &str) -> &mut Gupster {
+        let s = self.shard_of(user);
+        &mut self.shards[s]
+    }
+
+    /// All shards, for per-shard inspection (counters, memo stats).
+    pub fn shards(&self) -> &[Gupster] {
+        &self.shards
+    }
+
+    /// Registers a component on the owning shard (see
+    /// [`Gupster::register_component`]).
+    pub fn register_component(
+        &mut self,
+        user: &str,
+        path: Path,
+        store: StoreId,
+    ) -> Result<(), GupsterError> {
+        self.shard_mut(user).register_component(user, path, store)
+    }
+
+    /// Unregisters a store's components for `user` on the owning shard.
+    pub fn unregister_store(&mut self, user: &str, store: &StoreId) -> usize {
+        self.shard_mut(user).unregister_store(user, store)
+    }
+
+    /// Provisions a relationship on the owner's shard.
+    pub fn set_relationship(&mut self, owner: &str, requester: &str, relationship: &str) {
+        self.shard_mut(owner).set_relationship(owner, requester, relationship);
+    }
+
+    /// Caps finished-span retention on every shard's hub (large sharded
+    /// workloads keep memory flat this way; histograms still aggregate
+    /// everything).
+    pub fn set_span_limit(&self, limit: usize) {
+        for g in &self.shards {
+            g.telemetry().set_span_limit(limit);
+        }
+    }
+
+    /// Per-shard counter snapshots, shard order.
+    pub fn shard_counters(&self) -> Vec<CounterSnapshot> {
+        self.shards.iter().map(|g| g.telemetry().counter_snapshot()).collect()
+    }
+
+    /// Fleet-wide counter totals (per-shard snapshots summed).
+    pub fn counter_totals(&self) -> CounterSnapshot {
+        let mut total = CounterSnapshot::default();
+        for snap in self.shard_counters() {
+            total.absorb(&snap);
+        }
+        total
+    }
+
+    /// Scatter-gather core: partitions `requests` by owner, runs one
+    /// scoped worker thread per non-empty shard (each request under its
+    /// own `shard.request` trace), and gathers results by the original
+    /// request index.
+    fn scatter<R, F>(
+        &mut self,
+        requests: &[ShardRequest],
+        work: F,
+    ) -> (Vec<Result<R, GupsterError>>, BatchReport)
+    where
+        R: Send,
+        F: Fn(
+                &mut Gupster,
+                &mut Singleflight,
+                &ShardRequest,
+                &mut Tracer,
+            ) -> Result<R, GupsterError>
+            + Sync,
+    {
+        let n = self.shards.len();
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, r) in requests.iter().enumerate() {
+            buckets[self.shard_of(&r.owner)].push(i);
+        }
+
+        let mut slots: Vec<Option<Result<R, GupsterError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut shard_sim = vec![SimTime::ZERO; n];
+        let work = &work;
+
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (gupster, bucket) in self.shards.iter_mut().zip(&buckets) {
+                if bucket.is_empty() {
+                    handles.push(None);
+                    continue;
+                }
+                handles.push(Some(scope.spawn(move || {
+                    let hub = gupster.telemetry();
+                    // One singleflight window per shard per batch:
+                    // stores are quiescent for the batch's duration, so
+                    // duplicates within it are safe to coalesce.
+                    let mut flight = Singleflight::new();
+                    let mut busy = SimTime::ZERO;
+                    let mut out: Vec<(usize, Result<R, GupsterError>)> =
+                        Vec::with_capacity(bucket.len());
+                    for &i in bucket {
+                        let mut tracer = hub.tracer(stage::SHARD_REQUEST);
+                        let res = work(gupster, &mut flight, &requests[i], &mut tracer);
+                        busy += tracer.now();
+                        out.push((i, res));
+                    }
+                    (busy, out)
+                })));
+            }
+            for (shard, handle) in handles.into_iter().enumerate() {
+                let Some(handle) = handle else { continue };
+                let (busy, out) = handle.join().expect("shard worker panicked");
+                shard_sim[shard] = busy;
+                for (i, r) in out {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("scatter left a request slot unfilled"))
+            .collect();
+        (results, BatchReport::from_shard_sim(shard_sim))
+    }
+
+    /// Runs a batch of lookups across the shards. Results come back in
+    /// request order and are byte-identical to running the same
+    /// sequence through one sequential [`Gupster`].
+    pub fn lookup_batch(
+        &mut self,
+        requests: &[ShardRequest],
+    ) -> (Vec<Result<LookupOutcome, GupsterError>>, BatchReport) {
+        self.scatter(requests, |g, _flight, r, tracer| {
+            g.lookup_traced(&r.owner, &r.path, &r.requester, r.purpose, r.time, r.now, tracer)
+        })
+    }
+
+    /// Runs a batch of full answers: lookup on the owning shard, then
+    /// fetch-and-merge against the shared pool — deduped through the
+    /// shard's per-batch singleflight window and (when `batch_fetches`)
+    /// coalesced into one fetch round per destination store.
+    pub fn answer_batch(
+        &mut self,
+        pool: &StorePool,
+        requests: &[ShardRequest],
+        keys: &MergeKeys,
+        batch_fetches: bool,
+    ) -> (Vec<Result<Vec<Element>, GupsterError>>, BatchReport) {
+        self.scatter(requests, |g, flight, r, tracer| {
+            let out = g.lookup_traced(
+                &r.owner, &r.path, &r.requester, r.purpose, r.time, r.now, tracer,
+            )?;
+            let signer = g.signer();
+            flight.fetch_merge(
+                pool,
+                &out.referral,
+                &r.requester,
+                &signer,
+                r.now,
+                keys,
+                batch_fetches,
+                Some(tracer),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupster_schema::gup_schema;
+    use gupster_store::XmlStore;
+    use gupster_xml::parse;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn req(owner: &str, path: &str) -> ShardRequest {
+        ShardRequest {
+            owner: owner.to_string(),
+            path: p(path),
+            requester: owner.to_string(),
+            purpose: Purpose::Query,
+            time: WeekTime::at(0, 12, 0),
+            now: 100,
+        }
+    }
+
+    fn populate(reg: &mut ShardedRegistry, users: &[&str]) {
+        for u in users {
+            reg.register_component(
+                u,
+                p(&format!("/user[@id='{u}']/presence")),
+                StoreId::new("s1"),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_user_keyed() {
+        let reg = ShardedRegistry::new(gup_schema(), b"k", 4);
+        let a = reg.shard_of("alice");
+        assert_eq!(a, reg.shard_of("alice"));
+        assert!(a < 4);
+        // FNV is fixed, so the route never moves between runs.
+        assert_eq!(shard_hash("alice"), shard_hash("alice"));
+        assert_ne!(shard_hash("alice"), shard_hash("bob"));
+    }
+
+    #[test]
+    fn batch_results_match_sequential_registry() {
+        let users = ["alice", "bob", "carol", "dave", "erin", "frank"];
+        let mut seq = Gupster::new(gup_schema(), b"k");
+        let mut sharded = ShardedRegistry::new(gup_schema(), b"k", 3);
+        for u in &users {
+            seq.register_component(u, p(&format!("/user[@id='{u}']/presence")), StoreId::new("s1"))
+                .unwrap();
+        }
+        populate(&mut sharded, &users);
+
+        let requests: Vec<ShardRequest> = (0..30)
+            .map(|i| {
+                let u = users[i % users.len()];
+                req(u, &format!("/user[@id='{u}']/presence"))
+            })
+            .collect();
+        let expected: Vec<String> = requests
+            .iter()
+            .map(|r| {
+                match seq.lookup(&r.owner, &r.path, &r.requester, r.purpose, r.time, r.now) {
+                    Ok(out) => format!("{:?}", out.referral),
+                    Err(e) => format!("{e:?}"),
+                }
+            })
+            .collect();
+        let (results, report) = sharded.lookup_batch(&requests);
+        let got: Vec<String> = results
+            .iter()
+            .map(|r| match r {
+                Ok(out) => format!("{:?}", out.referral),
+                Err(e) => format!("{e:?}"),
+            })
+            .collect();
+        assert_eq!(expected, got);
+        assert_eq!(report.shard_sim.len(), 3);
+        assert!(report.makespan <= report.total_sim);
+        assert!(report.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn answer_batch_coalesces_duplicates() {
+        let mut sharded = ShardedRegistry::new(gup_schema(), b"k", 2);
+        populate(&mut sharded, &["alice"]);
+        let mut store = XmlStore::new("s1");
+        store
+            .put_profile(parse(r#"<user id="alice"><presence>online</presence></user>"#).unwrap())
+            .unwrap();
+        let mut pool = StorePool::new();
+        pool.add(Box::new(store));
+
+        let requests: Vec<ShardRequest> =
+            (0..8).map(|_| req("alice", "/user[@id='alice']/presence")).collect();
+        let (results, _) =
+            sharded.answer_batch(&pool, &requests, &MergeKeys::new(), true);
+        for r in &results {
+            let elems = r.as_ref().unwrap();
+            assert_eq!(elems[0].text(), "online");
+        }
+        // 8 identical requests, one flight: 7 coalesced.
+        assert_eq!(sharded.counter_totals().singleflight_hits, 7);
+    }
+
+    #[test]
+    fn per_shard_counters_sum_to_totals() {
+        let users = ["u1", "u2", "u3", "u4", "u5"];
+        let mut sharded = ShardedRegistry::new(gup_schema(), b"k", 4);
+        populate(&mut sharded, &users);
+        let requests: Vec<ShardRequest> = users
+            .iter()
+            .map(|u| req(u, &format!("/user[@id='{u}']/presence")))
+            .collect();
+        let (_, _) = sharded.lookup_batch(&requests);
+        let per_shard = sharded.shard_counters();
+        let total: u64 = per_shard.iter().map(|c| c.lookups).sum();
+        assert_eq!(total, 5);
+        assert_eq!(sharded.counter_totals().lookups, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_refused() {
+        let _ = ShardedRegistry::new(gup_schema(), b"k", 0);
+    }
+}

@@ -134,6 +134,27 @@ impl Journey {
         self.elapsed += slowest;
         Ok(self)
     }
+
+    /// Fault-aware parallel fan-out of **coalesced batch RPCs**: each
+    /// call is one request/response pair carrying every fragment bound
+    /// for that destination (`fragments` per call, for accounting).
+    /// Same fault and wall-clock semantics as
+    /// [`Journey::try_parallel_rpcs`]; the network's batch counters
+    /// record how many per-fragment messages were saved.
+    pub fn try_batch_rpcs(
+        &mut self,
+        net: &Network,
+        from: NodeId,
+        calls: &[(NodeId, usize, usize, u64)],
+    ) -> Result<&mut Self, NetError> {
+        let plain: Vec<(NodeId, usize, usize)> =
+            calls.iter().map(|(to, req, resp, _)| (*to, *req, *resp)).collect();
+        self.try_parallel_rpcs(net, from, &plain)?;
+        for (_, _, _, fragments) in calls {
+            net.note_batch(*fragments);
+        }
+        Ok(self)
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +230,22 @@ mod tests {
         // Failed fan-out did not advance the journey.
         assert_eq!(j.elapsed(), SimTime::millis(20));
         assert_eq!(n.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn batch_rpcs_meter_like_parallel_but_count_coalescing() {
+        let (n, c, a, b) = fixed_net();
+        let mut batched = Journey::start();
+        batched.try_batch_rpcs(&n, c, &[(a, 100, 900, 3), (b, 100, 300, 2)]).unwrap();
+        // Wall clock is identical to the equivalent parallel fan-out.
+        let mut plain = Journey::start();
+        plain.try_parallel_rpcs(&n, c, &[(a, 100, 900), (b, 100, 300)]).unwrap();
+        assert_eq!(batched.elapsed(), plain.elapsed());
+        let m = n.metrics();
+        assert_eq!(m.batched_rpcs, 2);
+        assert_eq!(m.coalesced_fragments, 5);
+        // Two message pairs per journey: 8 total.
+        assert_eq!(m.messages, 8);
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub struct Metrics {
     pub bytes: u64,
     /// Messages dropped by an active fault (see [`crate::faults`]).
     pub dropped: u64,
+    /// Coalesced per-destination batch RPCs issued (each one message
+    /// pair instead of one pair per fragment).
+    pub batched_rpcs: u64,
+    /// Fragments that travelled inside a batch RPC rather than as their
+    /// own message.
+    pub coalesced_fragments: u64,
     /// Total simulated transfer time accumulated across messages.
     pub total_latency: SimTime,
     /// Per (from-label, to-label) message counts.

@@ -280,6 +280,15 @@ impl Network {
     pub fn reset_metrics(&self) {
         self.lock().metrics.reset();
     }
+
+    /// Accounts a coalesced batch RPC: `fragments` fragments travelled
+    /// to one destination as a single message pair instead of one pair
+    /// each (see [`crate::Journey::try_batch_rpcs`]).
+    pub fn note_batch(&self, fragments: u64) {
+        let mut inner = self.lock();
+        inner.metrics.batched_rpcs += 1;
+        inner.metrics.coalesced_fragments += fragments;
+    }
 }
 
 #[cfg(test)]

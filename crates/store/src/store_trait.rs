@@ -87,7 +87,12 @@ pub struct ChangeEvent {
 
 /// The GUP-compliant interface every participating store exposes
 /// (natively or through an adapter).
-pub trait DataStore {
+///
+/// `Send + Sync` is a supertrait: stores are plain owned data (no
+/// interior mutability anywhere in the workspace), and the sharded
+/// front end fans scoped workers out over a shared `&StorePool`, which
+/// requires the trait objects inside to be shareable.
+pub trait DataStore: Send + Sync {
     /// The store's identity (referral target).
     fn id(&self) -> &StoreId;
 

@@ -2,7 +2,7 @@
 //! pipeline counters and finished-trace storage.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use gupster_netsim::SimTime;
@@ -40,6 +40,10 @@ pub struct Counters {
     pub memo_hits: AtomicU64,
     /// Coverage matches that fell back to the naive full scan.
     pub fallback_scans: AtomicU64,
+    /// Duplicate in-flight fetches coalesced by a singleflight table.
+    pub singleflight_hits: AtomicU64,
+    /// Per-store batch RPCs issued in place of per-fragment fetches.
+    pub batched_fetches: AtomicU64,
 }
 
 /// A point-in-time copy of the [`Counters`].
@@ -71,6 +75,32 @@ pub struct CounterSnapshot {
     pub memo_hits: u64,
     /// Coverage matches that fell back to the naive full scan.
     pub fallback_scans: u64,
+    /// Duplicate in-flight fetches coalesced by a singleflight table.
+    pub singleflight_hits: u64,
+    /// Per-store batch RPCs issued in place of per-fragment fetches.
+    pub batched_fetches: u64,
+}
+
+impl CounterSnapshot {
+    /// Adds `other` into `self`, field by field — shard harnesses use
+    /// this to aggregate per-shard hubs into fleet-wide totals.
+    pub fn absorb(&mut self, other: &CounterSnapshot) {
+        self.lookups += other.lookups;
+        self.referrals += other.referrals;
+        self.policy_denials += other.policy_denials;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.signature_verifications += other.signature_verifications;
+        self.retries += other.retries;
+        self.fallbacks += other.fallbacks;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.stale_serves += other.stale_serves;
+        self.trie_hits += other.trie_hits;
+        self.memo_hits += other.memo_hits;
+        self.fallback_scans += other.fallback_scans;
+        self.singleflight_hits += other.singleflight_hits;
+        self.batched_fetches += other.batched_fetches;
+    }
 }
 
 impl Counters {
@@ -89,6 +119,8 @@ impl Counters {
             trie_hits: self.trie_hits.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             fallback_scans: self.fallback_scans.load(Ordering::Relaxed),
+            singleflight_hits: self.singleflight_hits.load(Ordering::Relaxed),
+            batched_fetches: self.batched_fetches.load(Ordering::Relaxed),
         }
     }
 
@@ -106,6 +138,8 @@ impl Counters {
         self.trie_hits.store(0, Ordering::Relaxed);
         self.memo_hits.store(0, Ordering::Relaxed);
         self.fallback_scans.store(0, Ordering::Relaxed);
+        self.singleflight_hits.store(0, Ordering::Relaxed);
+        self.batched_fetches.store(0, Ordering::Relaxed);
     }
 }
 
@@ -130,12 +164,28 @@ pub struct StageStats {
 /// per-stage histograms as spans close, keeps [`Counters`] and stores
 /// finished traces for export. Shared as `Arc<TelemetryHub>` between
 /// the registry, client-side instrumentation and experiment harnesses.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TelemetryHub {
     next_request: AtomicU64,
     counters: Counters,
     stages: Mutex<BTreeMap<String, Histogram>>,
     spans: Mutex<Vec<Span>>,
+    /// Finished-span retention cap: once the store holds this many
+    /// spans, further traces feed the stage histograms but are not
+    /// retained. Large sharded workloads set this to keep memory flat.
+    span_limit: AtomicUsize,
+}
+
+impl Default for TelemetryHub {
+    fn default() -> Self {
+        TelemetryHub {
+            next_request: AtomicU64::new(0),
+            counters: Counters::default(),
+            stages: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(Vec::new()),
+            span_limit: AtomicUsize::new(usize::MAX),
+        }
+    }
 }
 
 impl TelemetryHub {
@@ -178,8 +228,40 @@ impl TelemetryHub {
         stages.entry(stage.to_string()).or_default().record(duration);
     }
 
+    /// Feeds a whole batch of closed-span durations under **one** lock
+    /// acquisition — the [`Tracer`] buffers its stage timings and
+    /// flushes them here on drop, so a request costs one histogram lock
+    /// instead of one per span. Shard workers hammering a shared hub
+    /// depend on this.
+    pub fn record_stages(&self, batch: &[(String, SimTime)]) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut stages = self.lock_stages();
+        for (stage, duration) in batch {
+            stages.entry(stage.clone()).or_default().record(*duration);
+        }
+    }
+
+    /// Caps how many finished spans the hub retains (see
+    /// [`TelemetryHub::spans`]); histograms and counters are unaffected.
+    /// `usize::MAX` (the default) retains everything.
+    pub fn set_span_limit(&self, limit: usize) {
+        self.span_limit.store(limit, Ordering::Relaxed);
+    }
+
     pub(crate) fn absorb(&self, spans: Vec<Span>) {
-        self.lock_spans().extend(spans);
+        let limit = self.span_limit.load(Ordering::Relaxed);
+        let mut held = self.lock_spans();
+        if held.len() >= limit {
+            return;
+        }
+        let room = limit - held.len();
+        if spans.len() <= room {
+            held.extend(spans);
+        } else {
+            held.extend(spans.into_iter().take(room));
+        }
     }
 
     /// All finished spans, in absorption order (root-first per request).
@@ -271,6 +353,46 @@ mod tests {
         assert!(stats.p95 >= SimTime::micros(95));
         assert!(hub.stage_stats("ghost").is_none());
         assert_eq!(hub.stages(), vec!["root".to_string(), "token.sign".to_string()]);
+    }
+
+    #[test]
+    fn stage_batches_equal_single_records() {
+        let a = TelemetryHub::new();
+        let b = TelemetryHub::new();
+        for i in 1..=20u64 {
+            a.record_stage("s", SimTime::micros(i));
+        }
+        let batch: Vec<(String, SimTime)> =
+            (1..=20u64).map(|i| ("s".to_string(), SimTime::micros(i))).collect();
+        b.record_stages(&batch);
+        assert_eq!(a.stage_stats("s"), b.stage_stats("s"));
+    }
+
+    #[test]
+    fn span_limit_caps_retention_but_not_histograms() {
+        let hub = Arc::new(TelemetryHub::new());
+        hub.set_span_limit(3);
+        for _ in 0..10 {
+            hub.tracer("root").span("token.sign", SimTime::micros(1));
+        }
+        assert!(hub.span_count() <= 3, "{}", hub.span_count());
+        // Every span still fed its stage histogram.
+        assert_eq!(hub.stage_stats("token.sign").unwrap().count, 10);
+    }
+
+    #[test]
+    fn snapshot_absorb_sums_fields() {
+        let a = TelemetryHub::new();
+        a.counters().lookups.fetch_add(3, Ordering::Relaxed);
+        a.counters().singleflight_hits.fetch_add(2, Ordering::Relaxed);
+        let b = TelemetryHub::new();
+        b.counters().lookups.fetch_add(4, Ordering::Relaxed);
+        b.counters().batched_fetches.fetch_add(5, Ordering::Relaxed);
+        let mut total = a.counter_snapshot();
+        total.absorb(&b.counter_snapshot());
+        assert_eq!(total.lookups, 7);
+        assert_eq!(total.singleflight_hits, 2);
+        assert_eq!(total.batched_fetches, 5);
     }
 
     #[test]

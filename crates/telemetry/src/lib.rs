@@ -61,6 +61,11 @@ pub mod stage {
     pub const CACHE_MISS: &str = "cache.miss";
     /// Client-side fetch-and-merge of a referral.
     pub const FETCH_MERGE: &str = "fetch.merge";
+    /// A fetch coalesced onto an identical in-flight one (singleflight).
+    pub const SINGLEFLIGHT_HIT: &str = "fetch.singleflight";
+    /// One request processed by a shard worker (root of a sharded
+    /// scatter-gather trace).
+    pub const SHARD_REQUEST: &str = "shard.request";
     /// Network time of the client↔registry lookup exchange.
     pub const NET_LOOKUP: &str = "net.lookup";
     /// Network time of fragment fetches (parallel fan-out).

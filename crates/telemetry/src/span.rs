@@ -96,6 +96,10 @@ pub struct Tracer {
     next_id: u64,
     stack: Vec<OpenSpan>,
     done: Vec<Span>,
+    /// Stage timings buffered locally and flushed to the hub's
+    /// histograms in one batch on drop, so closing a span never takes
+    /// the hub's stage lock (shard workers close thousands per second).
+    stage_buf: Vec<(String, SimTime)>,
 }
 
 impl Tracer {
@@ -107,6 +111,7 @@ impl Tracer {
             next_id: 0,
             stack: Vec::new(),
             done: Vec::new(),
+            stage_buf: Vec::new(),
         };
         t.enter(root_stage);
         t
@@ -174,7 +179,7 @@ impl Tracer {
             start: open.start,
             end: self.cursor,
         };
-        self.hub.record_stage(&span.stage, span.duration());
+        self.stage_buf.push((span.stage.clone(), span.duration()));
         self.done.push(span);
     }
 }
@@ -184,6 +189,8 @@ impl Drop for Tracer {
         while !self.stack.is_empty() {
             self.close_innermost();
         }
+        // One lock for all buffered stage timings of the request.
+        self.hub.record_stages(&std::mem::take(&mut self.stage_buf));
         // Parents close after their children, so sort by id for a
         // stable, root-first export order.
         self.done.sort_by_key(|s| s.id);

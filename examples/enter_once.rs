@@ -33,7 +33,7 @@ fn main() {
     }
     let mut pool = StorePool::new();
     pool.add(Box::new(portal));
-    pool.drain_all_events();
+    pool.drain_all_events().for_each(drop);
 
     // Her phone and the enterprise both subscribe to device changes.
     let mut subs = SubscriptionManager::new();

@@ -56,7 +56,7 @@ fn heterogeneous_world() -> (Gupster, StorePool) {
     pool.add(Box::new(portal));
     pool.add(Box::new(carrier));
     pool.add(Box::new(enterprise));
-    pool.drain_all_events();
+    pool.drain_all_events().for_each(drop);
     (g, pool)
 }
 

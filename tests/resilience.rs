@@ -77,6 +77,7 @@ fn ladder_degrades_referral_to_chaining_to_stale_in_order() {
         client: w.client,
         gupster_node: w.gupster_node,
         store_nodes: w.node_map.clone(),
+        batch_fetches: false,
     };
     let mut rex = ResilientExecutor::new(exec, 7);
     let t = WeekTime::at(0, 12, 0);
@@ -150,6 +151,7 @@ fn refusals_are_never_papered_over_by_the_stale_cache() {
         client: w.client,
         gupster_node: w.gupster_node,
         store_nodes: w.node_map.clone(),
+        batch_fetches: false,
     };
     let mut rex = ResilientExecutor::new(exec, 7);
     let t = WeekTime::at(0, 12, 0);
@@ -180,6 +182,7 @@ fn deadline_budget_is_a_typed_error_when_nothing_can_serve() {
         client: w.client,
         gupster_node: w.gupster_node,
         store_nodes: w.node_map.clone(),
+        batch_fetches: false,
     };
     let mut rex = ResilientExecutor::new(exec, 7).with_budget(SimTime::micros(200));
     let err = rex

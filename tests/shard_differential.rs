@@ -1,0 +1,454 @@
+//! Differential suite for the sharded scatter-gather executor and the
+//! batched/coalesced fetch path (DESIGN.md §8).
+//!
+//! The contract under test: sharding and batching are pure *execution*
+//! optimizations — for a seeded workload the referrals, answers and
+//! errors must be byte-identical to the sequential, unbatched path at
+//! every shard count, including when the resilience ladder is running
+//! over an injected fault schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gupster::core::patterns::PatternExecutor;
+use gupster::core::{
+    fetch_merge, Gupster, ResilientExecutor, ShardRequest, ShardedRegistry, StorePool,
+};
+use gupster::netsim::{
+    Domain, FaultRates, FaultSchedule, LatencyModel, Network, NodeId, SimTime,
+};
+use gupster::policy::{Effect, Purpose, WeekTime};
+use gupster::schema::gup_schema;
+use gupster::store::{
+    Capabilities, ChangeEvent, DataStore, StoreError, StoreId, UpdateOp, XmlStore,
+};
+use gupster::xml::{Element, MergeKeys};
+use gupster::xpath::Path;
+
+fn p(s: &str) -> Path {
+    Path::parse(s).unwrap()
+}
+
+fn keys() -> MergeKeys {
+    MergeKeys::new().with_key("item", "id")
+}
+
+// ----------------------------------------------------------- world —
+
+const USERS: usize = 24;
+
+fn user(i: usize) -> String {
+    format!("user{i:02}")
+}
+
+/// Registers every user's presence + split address book. Works against
+/// anything exposing `register_component(user, path, store)` via the
+/// closure, so the sequential and sharded registries provision through
+/// the exact same sequence.
+fn provision(mut register: impl FnMut(&str, Path, StoreId)) {
+    for i in 0..USERS {
+        let u = user(i);
+        register(
+            &u,
+            p(&format!("/user[@id='{u}']/presence")),
+            StoreId::new(format!("store{}", i % 3)),
+        );
+        register(
+            &u,
+            p(&format!("/user[@id='{u}']/address-book/item[@type='personal']")),
+            StoreId::new(format!("store{}", (i + 1) % 3)),
+        );
+        register(
+            &u,
+            p(&format!("/user[@id='{u}']/address-book/item[@type='corporate']")),
+            StoreId::new(format!("store{}", (i + 2) % 3)),
+        );
+    }
+}
+
+fn build_pool() -> StorePool {
+    let mut stores: Vec<XmlStore> = (0..3).map(|j| XmlStore::new(format!("store{j}"))).collect();
+    for i in 0..USERS {
+        let u = user(i);
+        let mut doc = Element::new("user").with_attr("id", u.clone());
+        doc.push_child(Element::new("presence").with_text(format!("online-{i}")));
+        stores[i % 3].put_profile(doc).unwrap();
+
+        let mut doc = Element::new("user").with_attr("id", u.clone());
+        let mut book = Element::new("address-book");
+        for k in 0..2 {
+            book.push_child(
+                Element::new("item")
+                    .with_attr("id", format!("p{k}"))
+                    .with_attr("type", "personal")
+                    .with_child(Element::new("name").with_text(format!("Friend {k} of {u}"))),
+            );
+        }
+        doc.push_child(book);
+        stores[(i + 1) % 3].put_profile(doc).unwrap();
+
+        let mut doc = Element::new("user").with_attr("id", u.clone());
+        let mut book = Element::new("address-book");
+        book.push_child(
+            Element::new("item")
+                .with_attr("id", "c0")
+                .with_attr("type", "corporate")
+                .with_child(Element::new("name").with_text(format!("Desk of {u}"))),
+        );
+        doc.push_child(book);
+        stores[(i + 2) % 3].put_profile(doc).unwrap();
+    }
+    let mut pool = StorePool::new();
+    for s in stores {
+        pool.add(Box::new(s));
+    }
+    pool
+}
+
+/// A deterministic request stream mixing point lookups, merged
+/// address-book answers, duplicates (singleflight fodder) and error
+/// cases (unknown user).
+fn request_stream(n: usize) -> Vec<ShardRequest> {
+    (0..n)
+        .map(|op| {
+            let u = user(op * 7 % USERS);
+            let path = match op % 5 {
+                0 | 1 => format!("/user[@id='{u}']/presence"),
+                2 | 3 => format!("/user[@id='{u}']/address-book"),
+                // Every fifth request repeats the previous owner's
+                // presence query — in-window duplicates.
+                _ => format!("/user[@id='{}']/presence", user((op - 1) * 7 % USERS)),
+            };
+            let owner = if op % 17 == 13 { "nobody".to_string() } else { u };
+            ShardRequest {
+                owner: owner.clone(),
+                path: p(&path),
+                requester: owner,
+                purpose: Purpose::Query,
+                time: WeekTime::at(1, 10, 0),
+                now: op as u64,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------- sequential vs. sharded —
+
+#[test]
+fn sharded_lookups_byte_identical_to_sequential() {
+    let requests = request_stream(120);
+    let mut seq = Gupster::new(gup_schema(), b"diff");
+    provision(|u, path, store| seq.register_component(u, path, store).unwrap());
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| {
+            match seq.lookup(&r.owner, &r.path, &r.requester, r.purpose, r.time, r.now) {
+                Ok(out) => format!("{:?}", out.referral),
+                Err(e) => format!("{e:?}"),
+            }
+        })
+        .collect();
+
+    for shards in [1usize, 2, 8] {
+        let mut reg = ShardedRegistry::new(gup_schema(), b"diff", shards);
+        provision(|u, path, store| reg.register_component(u, path, store).unwrap());
+        let (results, report) = reg.lookup_batch(&requests);
+        let got: Vec<String> = results
+            .iter()
+            .map(|r| match r {
+                Ok(out) => format!("{:?}", out.referral),
+                Err(e) => format!("{e:?}"),
+            })
+            .collect();
+        assert_eq!(expected, got, "lookup stream diverged at {shards} shards");
+        assert_eq!(report.shard_sim.len(), shards);
+        assert!(report.makespan <= report.total_sim);
+    }
+}
+
+#[test]
+fn sharded_answers_byte_identical_across_shards_and_batching() {
+    let requests = request_stream(120);
+    let pool = build_pool();
+    let keys = keys();
+
+    // Sequential oracle: one registry, plain unbatched fetch_merge.
+    let mut seq = Gupster::new(gup_schema(), b"diff");
+    provision(|u, path, store| seq.register_component(u, path, store).unwrap());
+    let signer = seq.signer();
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| {
+            match seq
+                .lookup(&r.owner, &r.path, &r.requester, r.purpose, r.time, r.now)
+                .and_then(|out| fetch_merge(&pool, &out.referral, &signer, r.now, &keys))
+            {
+                Ok(elems) => format!("{elems:?}"),
+                Err(e) => format!("{e:?}"),
+            }
+        })
+        .collect();
+
+    let mut sim_makespans = Vec::new();
+    for shards in [1usize, 2, 8] {
+        for batch in [false, true] {
+            let mut reg = ShardedRegistry::new(gup_schema(), b"diff", shards);
+            provision(|u, path, store| reg.register_component(u, path, store).unwrap());
+            let (results, report) = reg.answer_batch(&pool, &requests, &keys, batch);
+            let got: Vec<String> = results
+                .iter()
+                .map(|r| match r {
+                    Ok(elems) => format!("{elems:?}"),
+                    Err(e) => format!("{e:?}"),
+                })
+                .collect();
+            assert_eq!(
+                expected, got,
+                "answer stream diverged at {shards} shards (batch={batch})"
+            );
+            if batch {
+                sim_makespans.push((shards, report.makespan));
+            }
+        }
+    }
+    // More shards, shorter simulated makespan — the scaling direction
+    // E17 measures at volume.
+    let one = sim_makespans.iter().find(|(s, _)| *s == 1).unwrap().1;
+    let eight = sim_makespans.iter().find(|(s, _)| *s == 8).unwrap().1;
+    assert!(eight < one, "8 shards {eight:?} vs 1 shard {one:?}");
+}
+
+// -------------------------------------------------- singleflight —
+
+/// A store wrapper counting `query` calls — proof the singleflight
+/// table actually deduplicates, not just that answers agree.
+struct CountingStore {
+    inner: XmlStore,
+    queries: Arc<AtomicU64>,
+}
+
+impl DataStore for CountingStore {
+    fn id(&self) -> &StoreId {
+        self.inner.id()
+    }
+    fn query(&self, path: &Path) -> Result<Vec<Element>, StoreError> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.query(path)
+    }
+    fn update(&mut self, user: &str, op: &UpdateOp) -> Result<(), StoreError> {
+        self.inner.update(user, op)
+    }
+    fn users(&self) -> Vec<String> {
+        self.inner.users()
+    }
+    fn generation(&self) -> u64 {
+        self.inner.generation()
+    }
+    fn capabilities(&self) -> Capabilities {
+        self.inner.capabilities()
+    }
+    fn drain_events(&mut self) -> Vec<ChangeEvent> {
+        self.inner.drain_events()
+    }
+}
+
+#[test]
+fn duplicate_concurrent_fetches_hit_the_store_once() {
+    let mut inner = XmlStore::new("s1");
+    inner
+        .put_profile(
+            gupster::xml::parse(r#"<user id="alice"><presence>online</presence></user>"#).unwrap(),
+        )
+        .unwrap();
+    let queries = Arc::new(AtomicU64::new(0));
+    let mut pool = StorePool::new();
+    pool.add(Box::new(CountingStore { inner, queries: Arc::clone(&queries) }));
+
+    let mut reg = ShardedRegistry::new(gup_schema(), b"sf", 1);
+    reg.register_component("alice", p("/user[@id='alice']/presence"), StoreId::new("s1"))
+        .unwrap();
+    let requests: Vec<ShardRequest> = (0..6)
+        .map(|_| ShardRequest {
+            owner: "alice".to_string(),
+            path: p("/user[@id='alice']/presence"),
+            requester: "alice".to_string(),
+            purpose: Purpose::Query,
+            time: WeekTime::at(0, 12, 0),
+            now: 5,
+        })
+        .collect();
+    let (results, _) = reg.answer_batch(&pool, &requests, &keys(), false);
+    for r in &results {
+        assert_eq!(r.as_ref().unwrap()[0].text(), "online");
+    }
+    // One flight serves all six identical requests.
+    assert_eq!(queries.load(Ordering::Relaxed), 1);
+    assert_eq!(reg.counter_totals().singleflight_hits, 5);
+
+    // A fresh batch is a fresh window: the table must not cache across
+    // scatter windows (stores may change between them).
+    let (_, _) = reg.answer_batch(&pool, &requests[..2], &keys(), false);
+    assert_eq!(queries.load(Ordering::Relaxed), 2);
+}
+
+// ------------------------------------- fault ladder, batched fetches —
+
+struct LadderWorld {
+    net: Network,
+    client: NodeId,
+    gupster_node: NodeId,
+    fault_nodes: Vec<NodeId>,
+    store_nodes: std::collections::HashMap<StoreId, NodeId>,
+    gupster: Gupster,
+    pool: StorePool,
+}
+
+/// A 4-slice address book on 2 stores, shield-narrowed for rick so
+/// referrals carry several fragments per store. All links use
+/// `LatencyModel::fixed`, so batched and unbatched runs advance the
+/// simulated clock identically and see the exact same fault windows —
+/// making byte-identical outcomes a fair demand even under faults.
+fn ladder_world(seed: u64) -> LadderWorld {
+    const K: usize = 4;
+    let mut net = Network::new(seed);
+    let client = net.add_node("client", Domain::Client);
+    let gupster_node = net.add_node("gupster.net", Domain::Internet);
+    let mut gupster = Gupster::new(gup_schema(), b"lad");
+    let mut pool = StorePool::new();
+    let mut store_nodes = std::collections::HashMap::new();
+    let mut fault_nodes = vec![client, gupster_node];
+    for j in 0..K / 2 {
+        let label = format!("store{j}.net");
+        let node = net.add_node(label.clone(), Domain::Internet);
+        fault_nodes.push(node);
+        let mut store = XmlStore::new(label.clone());
+        let mut doc = Element::new("user").with_attr("id", "alice");
+        let mut book = Element::new("address-book");
+        for s in (0..K).filter(|s| s / 2 == j) {
+            for i in (s..24).step_by(K) {
+                book.push_child(
+                    Element::new("item")
+                        .with_attr("id", i.to_string())
+                        .with_attr("type", format!("slice{s}"))
+                        .with_child(Element::new("name").with_text(format!("Contact {i}"))),
+                );
+            }
+        }
+        doc.push_child(book);
+        store.put_profile(doc).unwrap();
+        store_nodes.insert(StoreId::new(label), node);
+        pool.add(Box::new(store));
+    }
+    for s in 0..K {
+        gupster
+            .register_component(
+                "alice",
+                p(&format!("/user[@id='alice']/address-book/item[@type='slice{s}']")),
+                StoreId::new(format!("store{}.net", s / 2)),
+            )
+            .unwrap();
+    }
+    gupster.set_relationship("alice", "rick", "co-worker");
+    gupster
+        .pap
+        .provision(
+            "alice",
+            "cw-items",
+            Effect::Permit,
+            "/user/address-book/item",
+            "relationship='co-worker'",
+            0,
+        )
+        .unwrap();
+    for s in 0..K {
+        gupster
+            .pap
+            .provision(
+                "alice",
+                &format!("cw-slice{s}"),
+                Effect::Permit,
+                &format!("/user/address-book/item[@type='slice{s}']"),
+                "relationship='co-worker'",
+                0,
+            )
+            .unwrap();
+    }
+    // Fixed latencies: transfer time no longer depends on bytes or leg
+    // count, so batching cannot shift the fault timeline.
+    let nodes: Vec<NodeId> = fault_nodes.clone();
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            net.set_link(a, b, LatencyModel::fixed(SimTime::millis(8)));
+        }
+    }
+    LadderWorld { net, client, gupster_node, fault_nodes, store_nodes, gupster, pool }
+}
+
+fn ladder_run(batch: bool, seed: u64) -> (Vec<String>, SimTime) {
+    const REQUESTS: usize = 80;
+    let gap = SimTime::millis(200);
+    let request = p("/user[@id='alice']/address-book");
+    let mut w = ladder_world(seed);
+    let exec = PatternExecutor {
+        net: &w.net,
+        client: w.client,
+        gupster_node: w.gupster_node,
+        store_nodes: w.store_nodes.clone(),
+        batch_fetches: false,
+    };
+    let mut rex =
+        ResilientExecutor::new(exec, seed).with_budget(SimTime::secs(2)).with_batched_fetches(batch);
+    rex.fetch(&mut w.gupster, &w.pool, "alice", &request, "rick", WeekTime::at(1, 10, 0), 0, &keys())
+        .expect("fault-free warm-up");
+    let rates = FaultRates::links(0.10).with_node_outages(0.02).with_latency_spikes(0.01);
+    let horizon = SimTime(gap.0 * (REQUESTS as u64 + 5));
+    w.net.install_faults(FaultSchedule::generate(seed, &rates, &w.fault_nodes, horizon));
+
+    let mut outcomes = Vec::with_capacity(REQUESTS);
+    let mut total_wall = SimTime::ZERO;
+    for i in 0..REQUESTS {
+        w.net.advance(gap);
+        match rex.fetch(
+            &mut w.gupster,
+            &w.pool,
+            "alice",
+            &request,
+            "rick",
+            WeekTime::at(1, 10, 0),
+            1 + i as u64,
+            &keys(),
+        ) {
+            Ok(run) => {
+                total_wall += run.wall;
+                outcomes.push(format!(
+                    "via={:?} stale={} result={:?}",
+                    run.served, run.stale, run.result
+                ));
+            }
+            Err(e) => outcomes.push(format!("err={e:?}")),
+        }
+    }
+    (outcomes, total_wall)
+}
+
+#[test]
+fn fault_ladder_batched_byte_identical_under_fixed_latency() {
+    let (plain, plain_wall) = ladder_run(false, 42);
+    let (batched, batched_wall) = ladder_run(true, 42);
+    assert_eq!(plain.len(), batched.len());
+    for (i, (a, b)) in plain.iter().zip(&batched).enumerate() {
+        assert_eq!(a, b, "request {i} diverged under the fault ladder");
+    }
+    // Batching only removes per-fragment fetch headers from the traced
+    // cost; the answers above are identical while the clock improves.
+    assert!(batched_wall < plain_wall, "{batched_wall:?} vs {plain_wall:?}");
+    // The schedule actually bit (some requests degraded or failed) —
+    // otherwise this proves nothing about the ladder.
+    assert!(
+        plain.iter().any(|o| o.contains("err=") || !o.contains("via=Pattern(Referral)")),
+        "fault schedule never interfered; weaken the seed check"
+    );
+    // And a different seed produces a different stream (the equality
+    // above is not vacuous determinism).
+    assert_ne!(plain, ladder_run(false, 43).0);
+}
