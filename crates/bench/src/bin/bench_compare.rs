@@ -21,11 +21,21 @@
 //! count must stay within 15% of the baseline ratio — a change can
 //! keep absolute throughput while quietly flattening the scaling
 //! curve, and this catches that.
+//!
+//! `--slo <fresh_slo.json> [baseline_slo.json]` gates E18's
+//! `BENCH_slo.json` instead: every objective must hold with the
+//! verdict re-derived from the recorded observations (p99 within
+//! budget, availability at target, burn rate ≤ 1.0), and with a
+//! baseline no burn rate may grow past 2× its baseline value.
 
 use gupster_bench::benchjson::{parse, BenchRow};
+use gupster_telemetry::slo::{parse_slo_json, SloOutcome};
 
 /// Allowed fraction of baseline throughput before the gate trips.
 const FLOOR: f64 = 0.85;
+/// Allowed growth of an SLO burn rate over its baseline before the
+/// `--slo` gate trips (on top of the hard burn ≤ 1.0 verdict).
+const BURN_GROWTH: f64 = 2.0;
 
 fn load(path: &str) -> Vec<BenchRow> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -38,10 +48,95 @@ fn load(path: &str) -> Vec<BenchRow> {
     })
 }
 
+/// Loads a `BENCH_slo.json`. `parse_slo_json` re-derives every `ok`
+/// flag from the recorded observations, so a stale or tampered flag in
+/// the file cannot pass the gate.
+fn load_slo(path: &str) -> Vec<SloOutcome> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let (outcomes, _) = parse_slo_json(&text).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    if outcomes.is_empty() {
+        eprintln!("bench_compare: {path} has no SLO rows");
+        std::process::exit(2);
+    }
+    outcomes
+}
+
+/// The `--slo` gate: every objective in the fresh run must hold
+/// (re-derived p99 ≤ budget, availability ≥ target, burn ≤ 1.0); with
+/// a baseline, a burn rate may also not grow past `BURN_GROWTH`× its
+/// baseline value — a run can stay under budget while quietly eating
+/// it, and this catches that.
+fn run_slo_gate(fresh_path: &str, baseline_path: Option<&str>) -> ! {
+    let fresh = load_slo(fresh_path);
+    let baseline = baseline_path.map(load_slo);
+    let mut failed = 0;
+    println!(
+        "{:<22} {:>9} {:>12} {:>12} {:>13} {:>8}  verdict",
+        "objective", "events", "p99", "budget", "availability", "burn"
+    );
+    for o in &fresh {
+        let mut verdicts = Vec::new();
+        if !o.ok {
+            verdicts.push("OBJECTIVE VIOLATED".to_string());
+        }
+        if let Some(base) = baseline.as_ref().and_then(|b| {
+            b.iter().find(|x| x.spec.name == o.spec.name)
+        }) {
+            // Only meaningful once the baseline burn is visible above
+            // rounding; a 0.00 → 0.01 step is not a regression.
+            if base.burn_rate > 0.05 && o.burn_rate > base.burn_rate * BURN_GROWTH {
+                failed += 1;
+                verdicts.push(format!(
+                    "BURN REGRESSION ({:.2} vs baseline {:.2})",
+                    o.burn_rate, base.burn_rate
+                ));
+            }
+        }
+        if !o.ok {
+            failed += 1;
+        }
+        let verdict = if verdicts.is_empty() { "ok".to_string() } else { verdicts.join("; ") };
+        println!(
+            "{:<22} {:>9} {:>12} {:>12} {:>12.4}% {:>8.2}  {verdict}",
+            o.spec.name,
+            o.count,
+            o.p99.to_string(),
+            if o.spec.p99_budget.0 == 0 { "-".to_string() } else { o.spec.p99_budget.to_string() },
+            o.availability * 100.0,
+            o.burn_rate,
+        );
+    }
+    if failed > 0 {
+        eprintln!("bench_compare: {failed} SLO check(s) failed in {fresh_path}");
+        std::process::exit(1);
+    }
+    println!("bench_compare: all {} SLOs hold in {fresh_path}", fresh.len());
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--slo") {
+        match &args[1..] {
+            [fresh] => run_slo_gate(fresh, None),
+            [fresh, baseline] => run_slo_gate(fresh, Some(baseline)),
+            _ => {
+                eprintln!("usage: bench_compare --slo <fresh_slo.json> [baseline_slo.json]");
+                std::process::exit(2);
+            }
+        }
+    }
     let [baseline_path, fresh_path] = &args[..] else {
-        eprintln!("usage: bench_compare <baseline.json> <fresh.json>");
+        eprintln!(
+            "usage: bench_compare <baseline.json> <fresh.json>\n\
+             \x20      bench_compare --slo <fresh_slo.json> [baseline_slo.json]"
+        );
         std::process::exit(2);
     };
     let baseline = load(baseline_path);

@@ -3,7 +3,10 @@
 //! policy outcomes, convergence and bytes (incremental vs. whole-
 //! document shipping).
 
-use gupster_sync::{two_way_sync, ReconcilePolicy, Replica};
+use std::sync::Arc;
+
+use gupster_sync::{two_way_sync_traced, ReconcilePolicy, Replica};
+use gupster_telemetry::TelemetryHub;
 use gupster_xml::{EditOp, Element, MergeKeys, NodePath};
 
 use crate::table::{bytes, f2, print_table};
@@ -31,7 +34,13 @@ struct Outcome {
     queued: usize,
 }
 
-fn drive(policy: ReconcilePolicy, rounds: usize, edits_per_round: usize, seed: u64) -> Outcome {
+fn drive(
+    hub: &Arc<TelemetryHub>,
+    policy: ReconcilePolicy,
+    rounds: usize,
+    edits_per_round: usize,
+    seed: u64,
+) -> Outcome {
     const HOT_SET: usize = 30; // both sides edit a hot subset → real conflicts
     let keys = MergeKeys::new().with_key("item", "id");
     let book = base_book(100);
@@ -53,7 +62,10 @@ fn drive(policy: ReconcilePolicy, rounds: usize, edits_per_round: usize, seed: u
                 let _ = replica.edit(op);
             }
         }
-        let report = two_way_sync(&mut phone, &mut portal, policy).expect("same component");
+        let mut tracer = hub.tracer("sync.round");
+        let report = two_way_sync_traced(&mut phone, &mut portal, policy, &mut tracer)
+            .expect("same component");
+        drop(tracer);
         out.conflicts += report.conflicts;
         out.fast_bytes += report.bytes_exchanged;
         out.slow_syncs += report.slow_sync as usize;
@@ -69,6 +81,7 @@ fn drive(policy: ReconcilePolicy, rounds: usize, edits_per_round: usize, seed: u
 pub fn run() {
     const ROUNDS: usize = 50;
     let whole_doc = base_book(100).byte_size() * 2 * ROUNDS; // naive both-ways shipping
+    let hub = Arc::new(TelemetryHub::new());
     let mut rows = Vec::new();
     for (name, policy) in [
         ("last-writer-wins", ReconcilePolicy::LastWriterWins),
@@ -76,7 +89,7 @@ pub fn run() {
         ("prefer phone (site priority)", ReconcilePolicy::PreferFirst),
         ("manual queue", ReconcilePolicy::Manual),
     ] {
-        let o = drive(policy, ROUNDS, 3, 9);
+        let o = drive(&hub, policy, ROUNDS, 3, 9);
         rows.push(vec![
             name.to_string(),
             o.conflicts.to_string(),
@@ -100,6 +113,20 @@ pub fn run() {
         ],
         &rows,
     );
+    println!();
+    println!(
+        "{}",
+        hub.render_stage_table(&format!(
+            "E11 — per-stage sync session latency ({} sessions across all policies)",
+            4 * ROUNDS
+        ))
+    );
+    let c = hub.counter_snapshot();
+    println!(
+        "  sync counters: sessions={} ops shipped={} conflicts={} slow paths={}",
+        c.sync_sessions, c.sync_ops_shipped, c.sync_conflicts, c.sync_slow_paths
+    );
+    super::dump_traces(&hub);
 }
 
 #[cfg(test)]
@@ -108,16 +135,23 @@ mod tests {
 
     #[test]
     fn lww_converges_and_ships_less_than_whole_docs() {
-        let o = drive(ReconcilePolicy::LastWriterWins, 20, 2, 3);
+        let hub = Arc::new(TelemetryHub::new());
+        let o = drive(&hub, ReconcilePolicy::LastWriterWins, 20, 2, 3);
         assert_eq!(o.converged_rounds, 20, "LWW must converge every round");
         let whole = base_book(100).byte_size() * 2 * 20;
         assert!(o.fast_bytes < whole, "{} vs {whole}", o.fast_bytes);
+        // The traced sessions left a stage table behind.
+        let c = hub.counter_snapshot();
+        assert_eq!(c.sync_sessions, 20);
+        assert!(hub.stage_stats(gupster_telemetry::stage::SYNC_SESSION).is_some());
     }
 
     #[test]
     fn manual_policy_queues_conflicts() {
-        let o = drive(ReconcilePolicy::Manual, 10, 5, 4);
+        let hub = Arc::new(TelemetryHub::new());
+        let o = drive(&hub, ReconcilePolicy::Manual, 10, 5, 4);
         assert!(o.queued > 0);
+        assert_eq!(hub.counter_snapshot().sync_conflicts as usize, o.conflicts);
     }
 
     #[test]

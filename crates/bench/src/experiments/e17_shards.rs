@@ -55,13 +55,13 @@ fn quick_mode() -> bool {
 
 /// The shard-sweep workload: a shared multi-tenant store pool plus a
 /// pre-built request stream (identical for every shard count).
-struct ShardWorkload {
-    users: Vec<String>,
-    pool: StorePool,
-    requests: Vec<ShardRequest>,
+pub(crate) struct ShardWorkload {
+    pub(crate) users: Vec<String>,
+    pub(crate) pool: StorePool,
+    pub(crate) requests: Vec<ShardRequest>,
 }
 
-fn build_workload(n_users: usize, n_requests: usize, seed: u64) -> ShardWorkload {
+pub(crate) fn build_workload(n_users: usize, n_requests: usize, seed: u64) -> ShardWorkload {
     const N_STORES: usize = 6;
     let users: Vec<String> = (0..n_users).map(|i| format!("user{i:05}")).collect();
 
@@ -130,7 +130,7 @@ fn build_workload(n_users: usize, n_requests: usize, seed: u64) -> ShardWorkload
     ShardWorkload { users, pool, requests }
 }
 
-fn provision(w: &ShardWorkload, shards: usize) -> ShardedRegistry {
+pub(crate) fn provision(w: &ShardWorkload, shards: usize) -> ShardedRegistry {
     const N_STORES: usize = 6;
     let mut reg = ShardedRegistry::new(gup_schema(), b"e17", shards);
     reg.set_span_limit(0); // histograms only; spans would grow unbounded

@@ -24,6 +24,7 @@ pub mod e14_cache;
 pub mod e15_reliability;
 pub mod e16_registry_scale;
 pub mod e17_shards;
+pub mod e18_observability;
 
 static TRACE_OUT: OnceLock<PathBuf> = OnceLock::new();
 /// Request-id offset for the next dumped hub, so traces from several
@@ -61,7 +62,7 @@ pub fn dump_traces(hub: &TelemetryHub) {
     }
 }
 
-/// Runs one experiment by id (`e1`…`e17`), or `all`.
+/// Runs one experiment by id (`e1`…`e18`), or `all`.
 pub fn run(which: &str) -> bool {
     match which {
         "e1" => e01_placement::run(),
@@ -81,8 +82,9 @@ pub fn run(which: &str) -> bool {
         "e15" => e15_reliability::run(),
         "e16" => e16_registry_scale::run(),
         "e17" => e17_shards::run(),
+        "e18" => e18_observability::run(),
         "all" => {
-            for i in 1..=17 {
+            for i in 1..=18 {
                 run(&format!("e{i}"));
             }
         }

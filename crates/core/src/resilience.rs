@@ -237,6 +237,12 @@ impl<'a> ResilientExecutor<'a> {
                 tracer.mark(stage::FALLBACK);
                 tracer.hub().counters().fallbacks.fetch_add(1, Ordering::Relaxed);
                 fallbacks += 1;
+                // A rung transition is a natural flush point: a long
+                // degrading request publishes its closed spans to the
+                // hub's histograms now, so an observability snapshot
+                // taken mid-ladder sees the work already done instead
+                // of an empty buffer.
+                tracer.flush_stages();
             }
             for attempt in 0..self.policy.max_attempts {
                 if tracer.now() >= self.budget {

@@ -28,13 +28,17 @@
 //! shard state — zero external deps, and the borrow checker proves the
 //! partitioning (each worker holds `&mut` to exactly one shard).
 
+use std::collections::BTreeMap;
 use std::thread;
 
 use gupster_netsim::SimTime;
 use gupster_policy::{Purpose, WeekTime};
 use gupster_schema::Schema;
 use gupster_store::StoreId;
-use gupster_telemetry::{stage, CounterSnapshot, Tracer};
+use gupster_telemetry::obs::{FleetObs, HotKey, ObsSnapshot, ShardObs, StageRow};
+use gupster_telemetry::{
+    merge_exemplars, stage, CounterSnapshot, ExemplarSummary, Histogram, StageStats, Tracer,
+};
 use gupster_xml::{Element, MergeKeys};
 use gupster_xpath::Path;
 
@@ -102,12 +106,46 @@ impl BatchReport {
     }
 }
 
+/// Cumulative per-shard execution gauges, maintained at every
+/// scatter-gather join (never inside the workers, so reading them can
+/// never observe a torn mid-window state).
+#[derive(Debug, Clone, Default)]
+struct ShardAccum {
+    /// Requests routed to the shard so far.
+    requests: u64,
+    /// Simulated busy time accumulated by the shard.
+    busy: SimTime,
+    /// Scatter windows observed (including ones where this shard got
+    /// no requests — a zero-depth queue is a real observation).
+    windows: u64,
+    /// Sum of per-window queue depths (for the mean).
+    queued_total: u64,
+    /// Deepest per-window queue.
+    queued_max: u64,
+}
+
+/// How many hottest users/paths the observability snapshot keeps.
+const HOT_KEY_TOP_K: usize = 10;
+
 /// N independent [`Gupster`] shards behind one facade: mutations route
 /// to the owning shard, batches scatter across shard worker threads
 /// and gather in stable request order.
 #[derive(Debug)]
 pub struct ShardedRegistry {
     shards: Vec<Gupster>,
+    /// Per-shard cumulative gauges, updated at each gather join.
+    accum: Vec<ShardAccum>,
+    /// Requests submitted across all batches — also the base of the
+    /// stable per-request exemplar key (global submission index), which
+    /// is what keeps exemplar selection byte-identical across shard
+    /// counts even though hub-local request ids differ.
+    ops: u64,
+    /// Accumulated makespan across batches (simulated wall clock).
+    makespan_total: SimTime,
+    /// Request counts per profile owner (hot-user skew view).
+    hot_users: BTreeMap<String, u64>,
+    /// Request counts per requested path (hot-path skew view).
+    hot_paths: BTreeMap<String, u64>,
 }
 
 impl ShardedRegistry {
@@ -120,6 +158,11 @@ impl ShardedRegistry {
         assert!(shards >= 1, "a ShardedRegistry needs at least one shard");
         ShardedRegistry {
             shards: (0..shards).map(|_| Gupster::new(schema.clone(), key)).collect(),
+            accum: vec![ShardAccum::default(); shards],
+            ops: 0,
+            makespan_total: SimTime::ZERO,
+            hot_users: BTreeMap::new(),
+            hot_paths: BTreeMap::new(),
         }
     }
 
@@ -180,6 +223,109 @@ impl ShardedRegistry {
         }
     }
 
+    /// Enables tail-latency exemplar capture on every shard's hub:
+    /// requests whose end-to-end simulated duration reaches
+    /// `threshold` keep their full span tree, top-`cap` retained per
+    /// shard (and top-`cap` fleet-wide after the deterministic merge).
+    pub fn set_exemplar_policy(&self, threshold: SimTime, cap: usize) {
+        for g in &self.shards {
+            g.telemetry().set_exemplar_policy(threshold, cap);
+        }
+    }
+
+    /// Assembles the fleet observability snapshot by merging the
+    /// per-shard hubs at the gather boundary: histograms merge
+    /// bucket-wise, counters sum field-wise, exemplars re-rank under
+    /// their total order and hot keys sum by name — every fleet
+    /// section is byte-identical for any shard count over the same
+    /// seeded workload.
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let mut merged: BTreeMap<String, Histogram> = BTreeMap::new();
+        for g in &self.shards {
+            for (label, h) in g.telemetry().stage_histograms() {
+                merged.entry(label).or_default().merge(&h);
+            }
+        }
+        let stages: Vec<StageRow> = merged
+            .into_iter()
+            .map(|(label, h)| {
+                (
+                    label,
+                    StageStats {
+                        count: h.count(),
+                        p50: h.p50(),
+                        p95: h.p95(),
+                        p99: h.p99(),
+                        mean: h.mean(),
+                        max: h.max(),
+                    },
+                )
+            })
+            .map(|(stage, stats)| StageRow { stage, stats })
+            .collect();
+
+        let cap = self.shards.iter().map(|g| g.telemetry().exemplar_cap()).max().unwrap_or(0);
+        let exemplars = merge_exemplars(
+            self.shards.iter().map(|g| g.telemetry().exemplars()).collect(),
+            cap,
+        )
+        .iter()
+        .map(ExemplarSummary::from_exemplar)
+        .collect();
+
+        let top_k = |map: &BTreeMap<String, u64>| -> Vec<HotKey> {
+            let mut rows: Vec<HotKey> =
+                map.iter().map(|(name, &count)| HotKey { name: name.clone(), count }).collect();
+            rows.sort_by(|a, b| b.count.cmp(&a.count).then(a.name.cmp(&b.name)));
+            rows.truncate(HOT_KEY_TOP_K);
+            rows
+        };
+
+        let shards = self
+            .shards
+            .iter()
+            .zip(&self.accum)
+            .enumerate()
+            .map(|(shard, (g, acc))| ShardObs {
+                shard,
+                requests: acc.requests,
+                busy: acc.busy,
+                utilization: if self.makespan_total == SimTime::ZERO {
+                    0.0
+                } else {
+                    acc.busy.0 as f64 / self.makespan_total.0 as f64
+                },
+                windows: acc.windows,
+                queued_max: acc.queued_max,
+                queued_mean: if acc.windows == 0 {
+                    0.0
+                } else {
+                    acc.queued_total as f64 / acc.windows as f64
+                },
+                p99_request: g
+                    .telemetry()
+                    .stage_stats(stage::SHARD_REQUEST)
+                    .map(|s| s.p99)
+                    .unwrap_or(SimTime::ZERO),
+                counters: g.telemetry().counter_snapshot(),
+            })
+            .collect();
+
+        ObsSnapshot {
+            fleet: FleetObs {
+                requests: self.ops,
+                busy: SimTime(self.accum.iter().map(|a| a.busy.0).sum()),
+                totals: self.counter_totals(),
+                stages,
+                exemplars,
+                hot_users: top_k(&self.hot_users),
+                hot_paths: top_k(&self.hot_paths),
+            },
+            makespan: self.makespan_total,
+            shards,
+        }
+    }
+
     /// Per-shard counter snapshots, shard order.
     pub fn shard_counters(&self) -> Vec<CounterSnapshot> {
         self.shards.iter().map(|g| g.telemetry().counter_snapshot()).collect()
@@ -217,12 +363,15 @@ impl ShardedRegistry {
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, r) in requests.iter().enumerate() {
             buckets[self.shard_of(&r.owner)].push(i);
+            *self.hot_users.entry(r.owner.clone()).or_default() += 1;
+            *self.hot_paths.entry(r.path.to_string()).or_default() += 1;
         }
 
         let mut slots: Vec<Option<Result<R, GupsterError>>> =
             (0..requests.len()).map(|_| None).collect();
         let mut shard_sim = vec![SimTime::ZERO; n];
         let work = &work;
+        let key_base = self.ops;
 
         thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -242,6 +391,10 @@ impl ShardedRegistry {
                         Vec::with_capacity(bucket.len());
                     for &i in bucket {
                         let mut tracer = hub.tracer(stage::SHARD_REQUEST);
+                        // Exemplar identity must not depend on the
+                        // partitioning, so key by global submission
+                        // index, not the hub-local request id.
+                        tracer.set_key(key_base + i as u64);
                         let res = work(gupster, &mut flight, &requests[i], &mut tracer);
                         busy += tracer.now();
                         out.push((i, res));
@@ -263,7 +416,20 @@ impl ShardedRegistry {
             .into_iter()
             .map(|s| s.expect("scatter left a request slot unfilled"))
             .collect();
-        (results, BatchReport::from_shard_sim(shard_sim))
+        let report = BatchReport::from_shard_sim(shard_sim);
+        // Gather-join accounting: gauges only ever change here, on the
+        // routing thread, so snapshot readers never see a torn window.
+        self.ops += requests.len() as u64;
+        self.makespan_total += report.makespan;
+        for (shard, acc) in self.accum.iter_mut().enumerate() {
+            let depth = buckets[shard].len() as u64;
+            acc.requests += depth;
+            acc.busy += report.shard_sim[shard];
+            acc.windows += 1;
+            acc.queued_total += depth;
+            acc.queued_max = acc.queued_max.max(depth);
+        }
+        (results, report)
     }
 
     /// Runs a batch of lookups across the shards. Results come back in
@@ -435,5 +601,43 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_refused() {
         let _ = ShardedRegistry::new(gup_schema(), b"k", 0);
+    }
+
+    #[test]
+    fn obs_snapshot_accounts_the_whole_batch() {
+        let users = ["alice", "bob", "carol", "dave", "erin"];
+        let mut sharded = ShardedRegistry::new(gup_schema(), b"k", 2);
+        populate(&mut sharded, &users);
+        sharded.set_exemplar_policy(SimTime::ZERO, 4);
+        let mut requests: Vec<ShardRequest> = users
+            .iter()
+            .map(|u| req(u, &format!("/user[@id='{u}']/presence")))
+            .collect();
+        // Skew: alice twice as hot as everyone else.
+        requests.push(req("alice", "/user[@id='alice']/presence"));
+        let (_, report) = sharded.lookup_batch(&requests);
+        let (_, report2) = sharded.lookup_batch(&requests);
+        let snap = sharded.obs_snapshot();
+
+        assert_eq!(snap.fleet.requests, 12);
+        assert_eq!(snap.shards.iter().map(|s| s.requests).sum::<u64>(), 12);
+        assert_eq!(snap.fleet.busy, report.total_sim + report2.total_sim);
+        assert_eq!(snap.makespan, report.makespan + report2.makespan);
+        assert_eq!(snap.fleet.totals.lookups, 12);
+        for s in &snap.shards {
+            assert_eq!(s.windows, 2, "every shard observes every window");
+            assert!(s.utilization > 0.0 && s.utilization <= 1.0);
+            // Identical windows: the mean queue depth equals the max.
+            assert!((s.queued_mean - s.queued_max as f64).abs() < 1e-9);
+        }
+        assert_eq!(snap.fleet.hot_users[0].name, "alice");
+        assert_eq!(snap.fleet.hot_users[0].count, 4);
+        // Zero threshold + cap 4 keeps the four slowest requests, keyed
+        // by global submission index.
+        assert_eq!(snap.fleet.exemplars.len(), 4);
+        assert!(snap.fleet.exemplars.iter().all(|e| e.key < 12));
+        // The snapshot round-trips through its JSON codec.
+        let back = gupster_telemetry::ObsSnapshot::parse_json(&snap.render_json()).unwrap();
+        assert_eq!(back, snap);
     }
 }

@@ -12,6 +12,10 @@
 //!   mismatch forces a *slow sync* (full-state compare),
 //! * **two-way sync sessions** ([`two_way_sync`]) with conflict
 //!   detection (overlapping edits since the last anchors),
+//! * **traced sessions** ([`two_way_sync_traced`]): the same session
+//!   under a `gupster-telemetry` tracer — ship/reconcile/apply/slow
+//!   phases become spans with deterministic simulated costs, and the
+//!   hub's sync counters advance,
 //! * **reconciliation policies** ([`ReconcilePolicy`]): site priority,
 //!   last-writer-wins, or a manual queue — "end-users should be able to
 //!   provision the policies used to reconcile profile data" (Req. 6).
@@ -29,4 +33,4 @@ pub use anchor::Anchors;
 pub use changelog::{ChangeLog, LogEntry};
 pub use reconcile::ReconcilePolicy;
 pub use replica::Replica;
-pub use session::{two_way_sync, SyncError, SyncReport};
+pub use session::{two_way_sync, two_way_sync_traced, SyncError, SyncReport};

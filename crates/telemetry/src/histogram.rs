@@ -108,6 +108,32 @@ impl Histogram {
     pub fn p99(&self) -> SimTime {
         self.quantile(0.99)
     }
+
+    /// Adds every sample of `other` into `self`, bucket by bucket. The
+    /// scatter-gather join uses this to merge per-shard histograms into
+    /// fleet histograms: bucket-wise addition is associative and
+    /// commutative, so the merged result is identical for any shard
+    /// count and any merge order — the determinism the observability
+    /// snapshot's byte-identity guarantee rests on.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples strictly above the bucket containing
+    /// `threshold` — the histogram's resolution-bounded count of
+    /// SLO-violating samples. Samples sharing the threshold's bucket
+    /// are counted as *within* budget (the under-count is bounded by
+    /// one bucket width), so the estimate is conservative, deterministic
+    /// and merge-stable.
+    pub fn count_over(&self, threshold: SimTime) -> u64 {
+        let cut = bucket_of(threshold.0);
+        self.counts.iter().skip(cut + 1).sum()
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +196,43 @@ mod tests {
         assert!((300..600).contains(&p50), "{p50}");
         assert_eq!(h.quantile(1.0), SimTime::micros(10_000));
         assert_eq!(h.quantile(0.0), SimTime(bucket_upper_bound(bucket_of(100))));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for us in 1..=50u64 {
+            let h = if us % 2 == 0 { &mut a } else { &mut b };
+            h.record(SimTime::micros(us * 13));
+            whole.record(SimTime::micros(us * 13));
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.max(), whole.max());
+        assert_eq!(merged.mean(), whole.mean());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "q={q}");
+        }
+        // Merge order does not matter.
+        let mut flipped = b.clone();
+        flipped.merge(&a);
+        assert_eq!(flipped.p99(), merged.p99());
+    }
+
+    #[test]
+    fn count_over_is_conservative() {
+        let mut h = Histogram::new();
+        for us in [10u64, 100, 1000, 10_000, 100_000] {
+            h.record(SimTime::micros(us));
+        }
+        // 1000µs lives in bucket [512, 1024); everything above that
+        // bucket counts as over.
+        assert_eq!(h.count_over(SimTime::micros(1000)), 2);
+        assert_eq!(h.count_over(SimTime::ZERO), 5);
+        assert_eq!(h.count_over(SimTime::micros(200_000)), 0);
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! The [`TelemetryHub`]: request-id allotment, per-stage histograms,
-//! pipeline counters and finished-trace storage.
+//! pipeline counters, tail-latency exemplars and finished-trace
+//! storage.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use gupster_netsim::SimTime;
 
 use crate::histogram::Histogram;
+use crate::intern::{StageId, StageInterner};
 use crate::span::{RequestId, Span, Tracer};
 
 /// Pipeline event counters. Plain atomics so instrumented code can bump
@@ -44,6 +45,14 @@ pub struct Counters {
     pub singleflight_hits: AtomicU64,
     /// Per-store batch RPCs issued in place of per-fragment fetches.
     pub batched_fetches: AtomicU64,
+    /// Two-way sync sessions completed.
+    pub sync_sessions: AtomicU64,
+    /// Changelog operations shipped during sync sessions.
+    pub sync_ops_shipped: AtomicU64,
+    /// Conflicting change pairs detected during sync reconciliation.
+    pub sync_conflicts: AtomicU64,
+    /// Sync sessions that fell back to the slow full-document path.
+    pub sync_slow_paths: AtomicU64,
 }
 
 /// A point-in-time copy of the [`Counters`].
@@ -79,6 +88,14 @@ pub struct CounterSnapshot {
     pub singleflight_hits: u64,
     /// Per-store batch RPCs issued in place of per-fragment fetches.
     pub batched_fetches: u64,
+    /// Two-way sync sessions completed.
+    pub sync_sessions: u64,
+    /// Changelog operations shipped during sync sessions.
+    pub sync_ops_shipped: u64,
+    /// Conflicting change pairs detected during sync reconciliation.
+    pub sync_conflicts: u64,
+    /// Sync sessions that fell back to the slow full-document path.
+    pub sync_slow_paths: u64,
 }
 
 impl CounterSnapshot {
@@ -100,6 +117,68 @@ impl CounterSnapshot {
         self.fallback_scans += other.fallback_scans;
         self.singleflight_hits += other.singleflight_hits;
         self.batched_fetches += other.batched_fetches;
+        self.sync_sessions += other.sync_sessions;
+        self.sync_ops_shipped += other.sync_ops_shipped;
+        self.sync_conflicts += other.sync_conflicts;
+        self.sync_slow_paths += other.sync_slow_paths;
+    }
+
+    /// The counter's fields as `(name, value)` rows in declaration
+    /// order — the single source of truth the snapshot exporters and
+    /// the dashboard iterate, so a newly added counter cannot be
+    /// silently missing from one of them.
+    pub fn named_fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("lookups", self.lookups),
+            ("referrals", self.referrals),
+            ("policy_denials", self.policy_denials),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("signature_verifications", self.signature_verifications),
+            ("retries", self.retries),
+            ("fallbacks", self.fallbacks),
+            ("deadline_exceeded", self.deadline_exceeded),
+            ("stale_serves", self.stale_serves),
+            ("trie_hits", self.trie_hits),
+            ("memo_hits", self.memo_hits),
+            ("fallback_scans", self.fallback_scans),
+            ("singleflight_hits", self.singleflight_hits),
+            ("batched_fetches", self.batched_fetches),
+            ("sync_sessions", self.sync_sessions),
+            ("sync_ops_shipped", self.sync_ops_shipped),
+            ("sync_conflicts", self.sync_conflicts),
+            ("sync_slow_paths", self.sync_slow_paths),
+        ]
+    }
+
+    /// Sets the field called `name` to `value`; false when no counter
+    /// has that name. The snapshot parser uses this as the inverse of
+    /// [`CounterSnapshot::named_fields`].
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "lookups" => &mut self.lookups,
+            "referrals" => &mut self.referrals,
+            "policy_denials" => &mut self.policy_denials,
+            "cache_hits" => &mut self.cache_hits,
+            "cache_misses" => &mut self.cache_misses,
+            "signature_verifications" => &mut self.signature_verifications,
+            "retries" => &mut self.retries,
+            "fallbacks" => &mut self.fallbacks,
+            "deadline_exceeded" => &mut self.deadline_exceeded,
+            "stale_serves" => &mut self.stale_serves,
+            "trie_hits" => &mut self.trie_hits,
+            "memo_hits" => &mut self.memo_hits,
+            "fallback_scans" => &mut self.fallback_scans,
+            "singleflight_hits" => &mut self.singleflight_hits,
+            "batched_fetches" => &mut self.batched_fetches,
+            "sync_sessions" => &mut self.sync_sessions,
+            "sync_ops_shipped" => &mut self.sync_ops_shipped,
+            "sync_conflicts" => &mut self.sync_conflicts,
+            "sync_slow_paths" => &mut self.sync_slow_paths,
+            _ => return false,
+        };
+        *slot = value;
+        true
     }
 }
 
@@ -121,6 +200,10 @@ impl Counters {
             fallback_scans: self.fallback_scans.load(Ordering::Relaxed),
             singleflight_hits: self.singleflight_hits.load(Ordering::Relaxed),
             batched_fetches: self.batched_fetches.load(Ordering::Relaxed),
+            sync_sessions: self.sync_sessions.load(Ordering::Relaxed),
+            sync_ops_shipped: self.sync_ops_shipped.load(Ordering::Relaxed),
+            sync_conflicts: self.sync_conflicts.load(Ordering::Relaxed),
+            sync_slow_paths: self.sync_slow_paths.load(Ordering::Relaxed),
         }
     }
 
@@ -140,6 +223,10 @@ impl Counters {
         self.fallback_scans.store(0, Ordering::Relaxed);
         self.singleflight_hits.store(0, Ordering::Relaxed);
         self.batched_fetches.store(0, Ordering::Relaxed);
+        self.sync_sessions.store(0, Ordering::Relaxed);
+        self.sync_ops_shipped.store(0, Ordering::Relaxed);
+        self.sync_conflicts.store(0, Ordering::Relaxed);
+        self.sync_slow_paths.store(0, Ordering::Relaxed);
     }
 }
 
@@ -160,20 +247,70 @@ pub struct StageStats {
     pub max: SimTime,
 }
 
+/// A retained tail-latency exemplar: the full span tree of one request
+/// whose end-to-end duration cleared the hub's exemplar threshold.
+///
+/// `key` is caller-assigned (see [`Tracer::set_key`]) and is the
+/// identity the deterministic top-k selection ties on — sharded
+/// harnesses set it to the request's *global* submission index so the
+/// selected exemplars are identical at any shard count, even though
+/// per-shard [`RequestId`]s differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Stable, shard-independent identity of the exemplified request.
+    pub key: u64,
+    /// End-to-end simulated duration of the request.
+    pub duration: SimTime,
+    /// The request's full span tree, root first.
+    pub spans: Vec<Span>,
+}
+
+impl Exemplar {
+    /// The total order exemplar selection uses: slowest first, ties
+    /// broken by the smaller (earlier) key. A total order over
+    /// (duration, key) is what makes top-k selection merge-stable:
+    /// the global top-k of a union is always a subset of the union of
+    /// per-shard top-k sets.
+    pub fn rank_cmp(&self, other: &Exemplar) -> std::cmp::Ordering {
+        other.duration.cmp(&self.duration).then(self.key.cmp(&other.key))
+    }
+}
+
+/// Merges per-hub exemplar sets into the fleet-wide top-`cap`,
+/// deterministically: concatenate, sort by [`Exemplar::rank_cmp`],
+/// truncate. Because each hub already keeps its own top-`cap` under
+/// the same total order, the result is identical for any partitioning
+/// of the requests across hubs.
+pub fn merge_exemplars(sets: Vec<Vec<Exemplar>>, cap: usize) -> Vec<Exemplar> {
+    let mut all: Vec<Exemplar> = sets.into_iter().flatten().collect();
+    all.sort_by(Exemplar::rank_cmp);
+    all.truncate(cap);
+    all
+}
+
 /// Owns everything telemetric: assigns [`RequestId`]s, aggregates
-/// per-stage histograms as spans close, keeps [`Counters`] and stores
-/// finished traces for export. Shared as `Arc<TelemetryHub>` between
-/// the registry, client-side instrumentation and experiment harnesses.
+/// per-stage histograms as spans close, keeps [`Counters`], captures
+/// tail-latency [`Exemplar`]s and stores finished traces for export.
+/// Shared as `Arc<TelemetryHub>` between the registry, client-side
+/// instrumentation and experiment harnesses.
 #[derive(Debug)]
 pub struct TelemetryHub {
     next_request: AtomicU64,
     counters: Counters,
-    stages: Mutex<BTreeMap<String, Histogram>>,
+    /// Per-stage histograms, indexed by [`StageId`] — the interner
+    /// assigns ids process-wide, so a hub's vector may have gaps
+    /// (empty histograms) for stages other subsystems interned.
+    stages: Mutex<Vec<Histogram>>,
     spans: Mutex<Vec<Span>>,
     /// Finished-span retention cap: once the store holds this many
     /// spans, further traces feed the stage histograms but are not
     /// retained. Large sharded workloads set this to keep memory flat.
     span_limit: AtomicUsize,
+    /// Exemplar capture threshold in µs; `u64::MAX` disables capture.
+    exemplar_threshold: AtomicU64,
+    /// How many exemplars the hub retains (top-k by duration).
+    exemplar_cap: AtomicUsize,
+    exemplars: Mutex<Vec<Exemplar>>,
 }
 
 impl Default for TelemetryHub {
@@ -181,9 +318,12 @@ impl Default for TelemetryHub {
         TelemetryHub {
             next_request: AtomicU64::new(0),
             counters: Counters::default(),
-            stages: Mutex::new(BTreeMap::new()),
+            stages: Mutex::new(Vec::new()),
             spans: Mutex::new(Vec::new()),
             span_limit: AtomicUsize::new(usize::MAX),
+            exemplar_threshold: AtomicU64::new(u64::MAX),
+            exemplar_cap: AtomicUsize::new(0),
+            exemplars: Mutex::new(Vec::new()),
         }
     }
 }
@@ -224,22 +364,41 @@ impl TelemetryHub {
     /// Public so simulation layers without a [`Tracer`] at hand can
     /// still contribute stage timings.
     pub fn record_stage(&self, stage: &str, duration: SimTime) {
-        let mut stages = self.lock_stages();
-        stages.entry(stage.to_string()).or_default().record(duration);
+        self.record_stage_ids(&[(StageInterner::intern(stage), duration)]);
     }
 
     /// Feeds a whole batch of closed-span durations under **one** lock
-    /// acquisition — the [`Tracer`] buffers its stage timings and
-    /// flushes them here on drop, so a request costs one histogram lock
-    /// instead of one per span. Shard workers hammering a shared hub
-    /// depend on this.
+    /// acquisition, with the stage labels already interned — this is
+    /// the [`Tracer`]'s flush path: a request costs one histogram lock
+    /// and zero label allocations instead of one `String` per span.
+    /// Shard workers hammering a shared hub depend on this.
+    pub fn record_stage_ids(&self, batch: &[(StageId, SimTime)]) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut stages = self.lock_stages();
+        for &(stage, duration) in batch {
+            let idx = stage.0 as usize;
+            if idx >= stages.len() {
+                stages.resize_with(idx + 1, Histogram::default);
+            }
+            stages[idx].record(duration);
+        }
+    }
+
+    /// Owned-label variant of [`TelemetryHub::record_stage_ids`], kept
+    /// for callers (and benchmarks) that still hold `String` batches.
     pub fn record_stages(&self, batch: &[(String, SimTime)]) {
         if batch.is_empty() {
             return;
         }
         let mut stages = self.lock_stages();
         for (stage, duration) in batch {
-            stages.entry(stage.clone()).or_default().record(*duration);
+            let idx = StageInterner::intern(stage).0 as usize;
+            if idx >= stages.len() {
+                stages.resize_with(idx + 1, Histogram::default);
+            }
+            stages[idx].record(*duration);
         }
     }
 
@@ -276,24 +435,89 @@ impl TelemetryHub {
 
     /// The stage labels with at least one recorded span, sorted.
     pub fn stages(&self) -> Vec<String> {
-        self.lock_stages().keys().cloned().collect()
+        self.stage_histograms().into_iter().map(|(name, _)| name).collect()
     }
 
     /// Latency statistics of one stage, `None` when nothing recorded.
     pub fn stage_stats(&self, stage: &str) -> Option<StageStats> {
+        let id = StageInterner::lookup(stage)?;
         let stages = self.lock_stages();
-        let h = stages.get(stage)?;
+        let h = stages.get(id.0 as usize)?;
         if h.count() == 0 {
             return None;
         }
-        Some(StageStats {
-            count: h.count(),
-            p50: h.p50(),
-            p95: h.p95(),
-            p99: h.p99(),
-            mean: h.mean(),
-            max: h.max(),
-        })
+        Some(stats_of(h))
+    }
+
+    /// Every non-empty stage histogram as `(label, histogram)` rows,
+    /// sorted by label, copied out under **one** lock acquisition —
+    /// the consistent read the scatter-gather merge and the dashboard
+    /// snapshot use, so no torn view across stages is possible.
+    pub fn stage_histograms(&self) -> Vec<(String, Histogram)> {
+        let copied: Vec<(usize, Histogram)> = {
+            let stages = self.lock_stages();
+            stages
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.count() > 0)
+                .map(|(i, h)| (i, h.clone()))
+                .collect()
+        };
+        let mut rows: Vec<(String, Histogram)> = copied
+            .into_iter()
+            .map(|(i, h)| (StageInterner::resolve(StageId(i as u32)).to_string(), h))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Every non-empty stage's [`StageStats`], sorted by label, from
+    /// one consistent histogram read.
+    pub fn stage_rows(&self) -> Vec<(String, StageStats)> {
+        self.stage_histograms().into_iter().map(|(name, h)| (name, stats_of(&h))).collect()
+    }
+
+    /// Enables tail-latency exemplar capture: any request whose
+    /// end-to-end duration is ≥ `threshold` keeps its full span tree,
+    /// and the hub retains the top-`cap` slowest (ties broken by the
+    /// smaller [`Exemplar::key`]). A `cap` of zero disables capture.
+    pub fn set_exemplar_policy(&self, threshold: SimTime, cap: usize) {
+        self.exemplar_threshold.store(threshold.0, Ordering::Relaxed);
+        self.exemplar_cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// The retained exemplars, slowest first.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        self.lock_exemplars().clone()
+    }
+
+    /// The configured exemplar retention cap.
+    pub fn exemplar_cap(&self) -> usize {
+        self.exemplar_cap.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn wants_exemplar(&self, duration: SimTime) -> bool {
+        self.exemplar_cap.load(Ordering::Relaxed) > 0
+            && duration.0 >= self.exemplar_threshold.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn offer_exemplar(&self, exemplar: Exemplar) {
+        let cap = self.exemplar_cap.load(Ordering::Relaxed);
+        if cap == 0 {
+            return;
+        }
+        let mut held = self.lock_exemplars();
+        let at = held.partition_point(|e| e.rank_cmp(&exemplar).is_lt());
+        if at >= cap {
+            return;
+        }
+        held.insert(at, exemplar);
+        held.truncate(cap);
+    }
+
+    pub(crate) fn span_room(&self) -> usize {
+        let limit = self.span_limit.load(Ordering::Relaxed);
+        limit.saturating_sub(self.lock_spans().len())
     }
 
     /// Renders the per-stage latency table (see [`crate::table`]).
@@ -307,12 +531,28 @@ impl TelemetryHub {
         crate::export::export(&self.spans())
     }
 
-    fn lock_stages(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Histogram>> {
+    fn lock_stages(&self) -> std::sync::MutexGuard<'_, Vec<Histogram>> {
         self.stages.lock().expect("telemetry stage mutex poisoned")
     }
 
     fn lock_spans(&self) -> std::sync::MutexGuard<'_, Vec<Span>> {
         self.spans.lock().expect("telemetry span mutex poisoned")
+    }
+
+    fn lock_exemplars(&self) -> std::sync::MutexGuard<'_, Vec<Exemplar>> {
+        self.exemplars.lock().expect("telemetry exemplar mutex poisoned")
+    }
+}
+
+/// [`StageStats`] of one histogram.
+fn stats_of(h: &Histogram) -> StageStats {
+    StageStats {
+        count: h.count(),
+        p50: h.p50(),
+        p95: h.p95(),
+        p99: h.p99(),
+        mean: h.mean(),
+        max: h.max(),
     }
 }
 
@@ -393,6 +633,78 @@ mod tests {
         assert_eq!(total.lookups, 7);
         assert_eq!(total.singleflight_hits, 2);
         assert_eq!(total.batched_fetches, 5);
+    }
+
+    #[test]
+    fn exemplars_capture_the_tail_only() {
+        let hub = Arc::new(TelemetryHub::new());
+        hub.set_span_limit(0);
+        hub.set_exemplar_policy(SimTime::micros(50), 3);
+        for i in 1..=100u64 {
+            let mut t = hub.tracer("shard.request");
+            t.set_key(1000 + i);
+            t.span("store.fetch", SimTime::micros(i));
+        }
+        let exemplars = hub.exemplars();
+        assert_eq!(exemplars.len(), 3, "top-3 of the 51 over-threshold requests");
+        let durations: Vec<u64> = exemplars.iter().map(|e| e.duration.0).collect();
+        assert_eq!(durations, vec![100, 99, 98], "slowest first");
+        assert_eq!(exemplars[0].key, 1100);
+        // The full span tree rides along even with span retention off.
+        assert_eq!(exemplars[0].spans.len(), 2);
+        assert_eq!(exemplars[0].spans[0].stage, "shard.request");
+        assert_eq!(hub.span_count(), 0);
+    }
+
+    #[test]
+    fn exemplar_ties_break_on_the_earlier_key() {
+        let hub = Arc::new(TelemetryHub::new());
+        hub.set_exemplar_policy(SimTime::micros(1), 2);
+        for key in [9u64, 3, 7] {
+            let mut t = hub.tracer("root");
+            t.set_key(key);
+            t.charge(SimTime::micros(10));
+        }
+        let keys: Vec<u64> = hub.exemplars().iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![3, 7]);
+    }
+
+    #[test]
+    fn exemplar_merge_is_partition_independent() {
+        let run = |hub: &Arc<TelemetryHub>, key: u64| {
+            let mut t = hub.tracer("root");
+            t.set_key(key);
+            t.charge(SimTime::micros(10 + key % 7));
+        };
+        let whole = Arc::new(TelemetryHub::new());
+        whole.set_exemplar_policy(SimTime::micros(1), 4);
+        let left = Arc::new(TelemetryHub::new());
+        let right = Arc::new(TelemetryHub::new());
+        left.set_exemplar_policy(SimTime::micros(1), 4);
+        right.set_exemplar_policy(SimTime::micros(1), 4);
+        for key in 0..40u64 {
+            run(&whole, key);
+            run(if key % 2 == 0 { &left } else { &right }, key);
+        }
+        let merged = merge_exemplars(vec![left.exemplars(), right.exemplars()], 4);
+        let expect: Vec<(u64, u64)> =
+            whole.exemplars().iter().map(|e| (e.key, e.duration.0)).collect();
+        let got: Vec<(u64, u64)> = merged.iter().map(|e| (e.key, e.duration.0)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stage_histograms_read_consistently() {
+        let hub = TelemetryHub::new();
+        hub.record_stage("alpha.stage", SimTime::micros(5));
+        hub.record_stage("beta.stage", SimTime::micros(7));
+        let rows = hub.stage_histograms();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.windows(2).all(|w| w[0] < w[1]), "sorted: {names:?}");
+        let alpha = rows.iter().find(|(n, _)| n == "alpha.stage").unwrap();
+        assert_eq!(alpha.1.count(), 1);
+        // Gap entries (stages interned by other hubs/tests) never leak.
+        assert!(rows.iter().all(|(_, h)| h.count() > 0));
     }
 
     #[test]

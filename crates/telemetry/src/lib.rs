@@ -25,12 +25,18 @@
 pub mod export;
 pub mod histogram;
 pub mod hub;
+pub mod intern;
+pub mod obs;
+pub mod slo;
 pub mod span;
 pub mod table;
 
 pub use gupster_netsim::SimTime;
 pub use histogram::Histogram;
-pub use hub::{CounterSnapshot, Counters, StageStats, TelemetryHub};
+pub use hub::{merge_exemplars, CounterSnapshot, Counters, Exemplar, StageStats, TelemetryHub};
+pub use intern::{StageId, StageInterner};
+pub use obs::{ExemplarSummary, FleetObs, HotKey, ObsSnapshot, ShardObs, StageRow};
+pub use slo::{AttributionRow, SloOutcome, SloSpec};
 pub use span::{single_rooted_tree, RequestId, Span, Tracer};
 
 /// Canonical stage labels of the referral pipeline. Free-form labels
@@ -82,4 +88,15 @@ pub mod stage {
     pub const STALE_SERVE: &str = "resilience.stale";
     /// A request abandoned on deadline-budget exhaustion (marker).
     pub const DEADLINE_EXCEEDED: &str = "resilience.deadline";
+    /// Root span of a two-way changelog sync session.
+    pub const SYNC_SESSION: &str = "sync.session";
+    /// Shipping changelog operations between the replica pair.
+    pub const SYNC_SHIP: &str = "sync.ship";
+    /// Detecting conflicting change pairs (reconciliation).
+    pub const SYNC_RECONCILE: &str = "sync.reconcile";
+    /// Applying accepted remote operations to the local document.
+    pub const SYNC_APPLY: &str = "sync.apply";
+    /// The slow path: full-document exchange and deep merge (marker
+    /// plus cost when taken).
+    pub const SYNC_SLOW: &str = "sync.slow";
 }

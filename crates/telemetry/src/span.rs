@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use gupster_netsim::SimTime;
 
-use crate::hub::TelemetryHub;
+use crate::hub::{Exemplar, TelemetryHub};
+use crate::intern::{StageId, StageInterner};
 
 /// Identifier of one end-to-end request, assigned monotonically by the
 /// [`TelemetryHub`] that owns the trace.
@@ -75,8 +76,34 @@ pub fn single_rooted_tree(spans: &[Span]) -> bool {
 struct OpenSpan {
     id: u64,
     parent: Option<u64>,
-    stage: String,
+    stage: StageId,
     start: SimTime,
+}
+
+/// A closed span in the tracer's hot-path representation: the stage is
+/// an interned [`StageId`], so closing a span allocates nothing. The
+/// owned-label [`Span`] is materialized only when a trace is retained
+/// or captured as an exemplar.
+#[derive(Debug, Clone, Copy)]
+struct RawSpan {
+    id: u64,
+    parent: Option<u64>,
+    stage: StageId,
+    start: SimTime,
+    end: SimTime,
+}
+
+impl RawSpan {
+    fn materialize(&self, request: RequestId) -> Span {
+        Span {
+            request,
+            id: self.id,
+            parent: self.parent,
+            stage: StageInterner::resolve(self.stage).to_string(),
+            start: self.start,
+            end: self.end,
+        }
+    }
 }
 
 /// Builds the span tree of one request.
@@ -92,14 +119,17 @@ struct OpenSpan {
 pub struct Tracer {
     hub: Arc<TelemetryHub>,
     request: RequestId,
+    /// Exemplar identity (see [`Tracer::set_key`]); defaults to the
+    /// hub-local request id.
+    key: u64,
     cursor: SimTime,
     next_id: u64,
     stack: Vec<OpenSpan>,
-    done: Vec<Span>,
+    done: Vec<RawSpan>,
     /// Stage timings buffered locally and flushed to the hub's
     /// histograms in one batch on drop, so closing a span never takes
     /// the hub's stage lock (shard workers close thousands per second).
-    stage_buf: Vec<(String, SimTime)>,
+    stage_buf: Vec<(StageId, SimTime)>,
 }
 
 impl Tracer {
@@ -107,6 +137,7 @@ impl Tracer {
         let mut t = Tracer {
             hub,
             request,
+            key: request.0,
             cursor: SimTime::ZERO,
             next_id: 0,
             stack: Vec::new(),
@@ -120,6 +151,14 @@ impl Tracer {
     /// The request this tracer traces.
     pub fn request(&self) -> RequestId {
         self.request
+    }
+
+    /// Overrides the trace's exemplar key. Hub-local [`RequestId`]s
+    /// depend on how requests were partitioned across hubs, so sharded
+    /// harnesses set the request's *global* submission index here —
+    /// that makes exemplar selection byte-identical at any shard count.
+    pub fn set_key(&mut self, key: u64) {
+        self.key = key;
     }
 
     /// The hub this tracer reports to (for bumping counters mid-trace).
@@ -137,7 +176,12 @@ impl Tracer {
         let parent = self.stack.last().map(|s| s.id);
         let id = self.next_id;
         self.next_id += 1;
-        self.stack.push(OpenSpan { id, parent, stage: stage.to_string(), start: self.cursor });
+        self.stack.push(OpenSpan {
+            id,
+            parent,
+            stage: StageInterner::intern(stage),
+            start: self.cursor,
+        });
     }
 
     /// Advances the cursor by `dt`, attributing the time to every open
@@ -169,17 +213,27 @@ impl Tracer {
         self.span(stage, SimTime::ZERO);
     }
 
+    /// Flushes the buffered stage timings to the hub's histograms
+    /// mid-trace, under one lock. Long-running requests (the resilience
+    /// ladder between rungs, shard workers between windows) call this
+    /// so an observability snapshot taken while the request is still
+    /// open sees its closed spans instead of an empty histogram — the
+    /// flush-on-drop buffering no longer implies read-side blindness.
+    pub fn flush_stages(&mut self) {
+        self.hub.record_stage_ids(&self.stage_buf);
+        self.stage_buf.clear();
+    }
+
     fn close_innermost(&mut self) {
         let open = self.stack.pop().expect("close_innermost on empty stack");
-        let span = Span {
-            request: self.request,
+        let span = RawSpan {
             id: open.id,
             parent: open.parent,
             stage: open.stage,
             start: open.start,
             end: self.cursor,
         };
-        self.stage_buf.push((span.stage.clone(), span.duration()));
+        self.stage_buf.push((span.stage, SimTime(span.end.0.saturating_sub(span.start.0))));
         self.done.push(span);
     }
 }
@@ -190,11 +244,28 @@ impl Drop for Tracer {
             self.close_innermost();
         }
         // One lock for all buffered stage timings of the request.
-        self.hub.record_stages(&std::mem::take(&mut self.stage_buf));
+        self.hub.record_stage_ids(&std::mem::take(&mut self.stage_buf));
         // Parents close after their children, so sort by id for a
         // stable, root-first export order.
         self.done.sort_by_key(|s| s.id);
-        self.hub.absorb(std::mem::take(&mut self.done));
+        // Labels materialize only when someone will actually hold the
+        // spans: the retention store, the exemplar store, or both.
+        let exemplify = self.hub.wants_exemplar(self.cursor);
+        let retain = self.hub.span_room() > 0;
+        if !(exemplify || retain) {
+            self.done.clear();
+            return;
+        }
+        let spans: Vec<Span> =
+            self.done.drain(..).map(|raw| raw.materialize(self.request)).collect();
+        if exemplify {
+            let exemplar =
+                Exemplar { key: self.key, duration: self.cursor, spans: spans.clone() };
+            self.hub.offer_exemplar(exemplar);
+        }
+        if retain {
+            self.hub.absorb(spans);
+        }
     }
 }
 
