@@ -62,7 +62,7 @@ pub fn run() {
         let t1 = std::time::Instant::now();
         let merged = fetch_merge(&pool, &out.referral, &signer, 0, &keys).expect("fetches");
         let fetch_us = t1.elapsed().as_micros();
-        let items = merged.first().map(|m| m.children_named("item").len()).unwrap_or(0);
+        let items = merged.first().map(|m| m.children_named("item").count()).unwrap_or(0);
         rows.push(vec![
             k.to_string(),
             out.referral.entries.len().to_string(),
@@ -108,7 +108,7 @@ mod tests {
             let signer = g.signer();
             let merged = fetch_merge(&pool, &out.referral, &signer, 0, &keys).unwrap();
             assert_eq!(merged.len(), 1, "k={k}");
-            assert_eq!(merged[0].children_named("item").len(), 30, "k={k}");
+            assert_eq!(merged[0].children_named("item").count(), 30, "k={k}");
         }
     }
 }

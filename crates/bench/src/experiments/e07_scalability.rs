@@ -143,6 +143,6 @@ mod tests {
         let signer = f.gupster.signer();
         let r = fetch_merge(&f.pool, &out.referral, &signer, 0, &keys).unwrap();
         assert_eq!(r.len(), 1);
-        assert_eq!(r[0].children_named("item").len(), 5);
+        assert_eq!(r[0].children_named("item").count(), 5);
     }
 }

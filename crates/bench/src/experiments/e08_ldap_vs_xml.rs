@@ -110,7 +110,7 @@ fn attendee_phones_xml() -> (Vec<String>, usize) {
             .expect("parses");
         let r = store.query(&p).expect("queries");
         fetched += r.iter().map(Element::byte_size).sum::<usize>();
-        phones.extend(r.iter().map(|e| e.text()));
+        phones.extend(r.iter().map(|e| e.text().into_owned()));
     }
     (phones, fetched)
 }

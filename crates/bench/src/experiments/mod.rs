@@ -25,6 +25,7 @@ pub mod e15_reliability;
 pub mod e16_registry_scale;
 pub mod e17_shards;
 pub mod e18_observability;
+pub mod e19_xml_hotpath;
 
 static TRACE_OUT: OnceLock<PathBuf> = OnceLock::new();
 /// Request-id offset for the next dumped hub, so traces from several
@@ -62,7 +63,7 @@ pub fn dump_traces(hub: &TelemetryHub) {
     }
 }
 
-/// Runs one experiment by id (`e1`…`e18`), or `all`.
+/// Runs one experiment by id (`e1`…`e19`), or `all`.
 pub fn run(which: &str) -> bool {
     match which {
         "e1" => e01_placement::run(),
@@ -83,8 +84,9 @@ pub fn run(which: &str) -> bool {
         "e16" => e16_registry_scale::run(),
         "e17" => e17_shards::run(),
         "e18" => e18_observability::run(),
+        "e19" => e19_xml_hotpath::run(),
         "all" => {
-            for i in 1..=18 {
+            for i in 1..=19 {
                 run(&format!("e{i}"));
             }
         }

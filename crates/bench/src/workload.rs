@@ -160,7 +160,7 @@ mod tests {
         let store = f.pool.get(&out.referral.entries[0].store).unwrap();
         let frags = store.query(&out.referral.entries[0].path).unwrap();
         assert_eq!(frags.len(), 1);
-        assert_eq!(frags[0].children_named("item").len(), 5);
+        assert_eq!(frags[0].children_named("item").count(), 5);
     }
 
     #[test]

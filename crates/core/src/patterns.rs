@@ -468,7 +468,7 @@ mod tests {
         let b = run(&mut w, QueryPattern::Chaining);
         let c = run(&mut w, QueryPattern::Recruiting);
         assert_eq!(a.result.len(), 1);
-        assert_eq!(a.result[0].children_named("item").len(), 51);
+        assert_eq!(a.result[0].children_named("item").count(), 51);
         // Order of items may vary only if stores answered differently —
         // they don't; results are byte-identical here.
         assert_eq!(a.result, b.result);
@@ -701,7 +701,7 @@ mod tests {
                 &MergeKeys::new().with_key("item", "id"),
             )
             .unwrap();
-        let items: usize = run.result.iter().map(|r| r.children_named("item").len()).sum();
+        let items: usize = run.result.iter().map(|r| r.children_named("item").count()).sum();
         assert_eq!(items, 1);
     }
 }

@@ -149,7 +149,7 @@ impl DataStore for PstnAdapter {
                 }
             }
             (UpdateOp::InsertChild(_, barred), Some("device")) if barred.name == "barred" => {
-                let number = barred.text();
+                let number = barred.text().into_owned();
                 let mut rec = self
                     .switch
                     .line(&line)
@@ -231,7 +231,7 @@ mod tests {
     fn lines_published_as_gup_devices() {
         let a = adapter();
         let v = a.gup_view("alice").unwrap();
-        let devices = v.child("devices").unwrap().children_named("device");
+        let devices: Vec<_> = v.child("devices").unwrap().children_named("device").collect();
         assert_eq!(devices.len(), 2);
         assert_eq!(devices[0].attr("kind"), Some("landline"));
         assert_eq!(

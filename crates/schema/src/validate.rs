@@ -233,7 +233,7 @@ impl Schema {
         errs: &mut Vec<ValidationError>,
     ) {
         for cd in &decl.children {
-            let n = e.children_named(&cd.name).len() as u32;
+            let n = e.children_named(&cd.name).count() as u32;
             if !cd.occurs.admits(n) {
                 errs.push(ValidationError {
                     location: location.to_string(),

@@ -282,7 +282,7 @@ mod tests {
         let a = adapter();
         let v = a.gup_view("arnaud").unwrap();
         assert_eq!(v.child("identity").unwrap().child("name").unwrap().text(), "Arnaud Sahuguet");
-        assert_eq!(v.child("address-book").unwrap().children_named("item").len(), 2);
+        assert_eq!(v.child("address-book").unwrap().children_named("item").count(), 2);
     }
 
     #[test]

@@ -471,7 +471,7 @@ mod tests {
         let a = adapter();
         let v = a.gup_view("arnaud").unwrap();
         assert_eq!(v.attr("id"), Some("arnaud"));
-        assert_eq!(v.child("address-book").unwrap().children_named("item").len(), 2);
+        assert_eq!(v.child("address-book").unwrap().children_named("item").count(), 2);
         assert_eq!(
             p("/user/devices/device/number").select_strings(&v),
             vec!["908-555-0199"]

@@ -6,7 +6,7 @@
 //! [`Transform`] pipeline is the mediator's rule set; adapters apply it
 //! on the way out (publish as GUP) and, where invertible, on the way in.
 
-use gupster_xml::{Element, Node};
+use gupster_xml::{ArenaDoc, Element, Node};
 
 /// One transformation rule applied to every element of a tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +82,32 @@ impl Pipeline {
             e = apply_rule(rule, e);
         }
         e
+    }
+
+    /// Applies the pipeline to an arena document.
+    ///
+    /// The rename rules — the common virtual-mediation case of §5.3 —
+    /// are pure interned-name rewrites over the arena's flat tables: no
+    /// tree is walked and no subtree is cloned. The structural rules
+    /// (wrap/drop/text moves) fall back to the owned mediator and
+    /// re-adopt the result; either way the output is exactly what
+    /// [`Pipeline::apply`] produces on the equivalent owned tree.
+    pub fn apply_arena(&self, input: &ArenaDoc) -> ArenaDoc {
+        let mut doc = input.clone();
+        for (i, rule) in self.rules.iter().enumerate() {
+            match rule {
+                Transform::RenameTag { from, to } => doc.rename_tags(from, to),
+                Transform::RenameAttr { on, from, to } => doc.rename_attr(on, from, to),
+                _ => {
+                    let mut e = doc.root_element();
+                    for r in &self.rules[i..] {
+                        e = apply_rule(r, e);
+                    }
+                    return ArenaDoc::from_element(&e);
+                }
+            }
+        }
+        doc
     }
 }
 
@@ -206,8 +232,8 @@ mod tests {
         let out = Pipeline::new()
             .then(Transform::WrapEach { each: "row".into(), wrapper: "item".into() })
             .apply(&input);
-        assert_eq!(out.children_named("item").len(), 2);
-        assert!(out.children_named("item")[0].child("row").is_some());
+        assert_eq!(out.children_named("item").count(), 2);
+        assert!(out.children_named("item").next().unwrap().child("row").is_some());
     }
 
     #[test]
@@ -242,5 +268,50 @@ mod tests {
     fn identity_pipeline() {
         let input = parse(r#"<a x="1"><b>t</b></a>"#).unwrap();
         assert_eq!(Pipeline::new().apply(&input), input);
+    }
+
+    /// `apply_arena` must produce exactly what `apply` produces on the
+    /// equivalent owned tree — both for the in-place rename fast path
+    /// and for the structural fallback.
+    #[test]
+    fn arena_pipeline_matches_owned() {
+        let src = r#"<book flavor="x"><entry uid="1" kind="a">Mom</entry><entry uid="2"><deep uid="9"/></entry><secret><x/></secret><phone>(908) 582-4393</phone></book>"#;
+        let pipelines = [
+            Pipeline::new().then(Transform::RenameTag { from: "entry".into(), to: "item".into() }),
+            Pipeline::new().then(Transform::RenameAttr {
+                on: "entry".into(),
+                from: "uid".into(),
+                to: "id".into(),
+            }),
+            // Rename onto an existing attribute collapses the pair.
+            Pipeline::new().then(Transform::RenameAttr {
+                on: "entry".into(),
+                from: "uid".into(),
+                to: "kind".into(),
+            }),
+            // Rules never interned anywhere are no-ops on both paths.
+            Pipeline::new()
+                .then(Transform::RenameTag { from: "never-seen".into(), to: "x".into() })
+                .then(Transform::RenameAttr {
+                    on: "entry".into(),
+                    from: "never-seen".into(),
+                    to: "x".into(),
+                }),
+            // Renames followed by a structural rule: fast path hands off
+            // to the owned fallback mid-pipeline.
+            Pipeline::new()
+                .then(Transform::RenameTag { from: "entry".into(), to: "item".into() })
+                .then(Transform::WrapEach { each: "item".into(), wrapper: "cell".into() })
+                .then(Transform::Drop { tag: "secret".into() })
+                .then(Transform::NormalizeText { on: "phone".into(), normalizer: "phone".into() }),
+        ];
+        for p in &pipelines {
+            let owned = parse(src).unwrap();
+            let doc = ArenaDoc::parse(src).unwrap();
+            let want = p.apply(&owned);
+            let got = p.apply_arena(&doc);
+            assert_eq!(got.root_element(), want, "pipeline {p:?}");
+            assert_eq!(got.to_xml(), want.to_xml(), "pipeline {p:?}");
+        }
     }
 }

@@ -364,7 +364,7 @@ mod tests {
         let r = two_way_sync(&mut a, &mut b, ReconcilePolicy::LastWriterWins).unwrap();
         assert!(r.fast_path && r.converged && !r.slow_sync);
         assert_eq!(r.conflicts, 0);
-        assert_eq!(a.doc.children_named("item").len(), 3);
+        assert_eq!(a.doc.children_named("item").count(), 3);
         assert_eq!(a.doc, b.doc);
     }
 
@@ -443,7 +443,6 @@ mod tests {
         let ids: Vec<_> = a
             .doc
             .children_named("item")
-            .iter()
             .map(|i| i.attr("id").unwrap().to_string())
             .collect();
         assert!(ids.contains(&"1".to_string()));

@@ -51,7 +51,7 @@ fn star_propagates_edits_between_devices_via_portal() {
     sync(&mut phone, &mut portal);
     let r = sync(&mut pda, &mut portal);
     assert!(r.converged);
-    assert_eq!(pda.doc.children_named("item").len(), 3);
+    assert_eq!(pda.doc.children_named("item").count(), 3);
     assert_eq!(phone.doc, portal.doc);
     assert_eq!(pda.doc, portal.doc);
 }
@@ -76,7 +76,7 @@ fn concurrent_device_edits_converge_through_hub() {
     sync(&mut phone, &mut portal);
     assert_eq!(phone.doc, portal.doc);
     assert_eq!(pda.doc, portal.doc);
-    assert_eq!(portal.doc.children_named("item").len(), 4);
+    assert_eq!(portal.doc.children_named("item").count(), 4);
     let mom = portal
         .doc
         .children_named("item")
@@ -137,7 +137,7 @@ fn device_restored_from_backup_slow_syncs_and_rejoins() {
     assert!(r.slow_sync);
     assert!(r.converged);
     assert_eq!(phone.doc, portal.doc);
-    assert_eq!(phone.doc.children_named("item").len(), 3);
+    assert_eq!(phone.doc.children_named("item").count(), 3);
 }
 
 #[test]
@@ -160,5 +160,5 @@ fn hub_sequences_many_devices() {
     for d in &devices {
         assert_eq!(d.doc, portal.doc, "{} diverged", d.id);
     }
-    assert_eq!(portal.doc.children_named("item").len(), 2 + devices.len());
+    assert_eq!(portal.doc.children_named("item").count(), 2 + devices.len());
 }

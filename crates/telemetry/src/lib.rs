@@ -59,8 +59,12 @@ pub mod stage {
     pub const TOKEN_VERIFY: &str = "token.verify";
     /// Fetching one fragment from a data store.
     pub const STORE_FETCH: &str = "store.fetch";
+    /// Adopting fetched fragments into arena documents (zero-copy parse).
+    pub const XML_PARSE: &str = "xml.parse";
     /// Deep-unioning fetched fragments.
     pub const XML_MERGE: &str = "xml.merge";
+    /// Serializing the merged result for the client.
+    pub const XML_SERIALIZE: &str = "xml.serialize";
     /// A result served from cache (zero-duration marker span).
     pub const CACHE_HIT: &str = "cache.hit";
     /// A cache miss falling through to the full pipeline.

@@ -1,7 +1,20 @@
 //! Entity escaping and unescaping for text and attribute values.
+//!
+//! Both escape directions are scan-first: a byte scan (escapable
+//! characters are all ASCII, so scanning bytes is UTF-8 safe) decides
+//! whether anything needs escaping at all, and the overwhelmingly
+//! common clean string is appended in one `push_str` — the [`Cow`]
+//! variants hand it back borrowed without touching an output buffer.
 
-/// Escapes the five predefined XML entities for use in text content.
-pub(crate) fn escape_text(s: &str, out: &mut String) {
+use std::borrow::Cow;
+
+/// Escapes the predefined XML entities for text content, returning the
+/// input borrowed when nothing needs escaping.
+pub(crate) fn escape_text_cow(s: &str) -> Cow<'_, str> {
+    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>')) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
     for c in s.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -10,10 +23,16 @@ pub(crate) fn escape_text(s: &str, out: &mut String) {
             _ => out.push(c),
         }
     }
+    Cow::Owned(out)
 }
 
-/// Escapes for a double-quoted attribute value.
-pub(crate) fn escape_attr(s: &str, out: &mut String) {
+/// Escapes for a double-quoted attribute value, returning the input
+/// borrowed when nothing needs escaping.
+pub(crate) fn escape_attr_cow(s: &str) -> Cow<'_, str> {
+    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\'')) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
     for c in s.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -24,6 +43,17 @@ pub(crate) fn escape_attr(s: &str, out: &mut String) {
             _ => out.push(c),
         }
     }
+    Cow::Owned(out)
+}
+
+/// Escapes the five predefined XML entities for use in text content.
+pub(crate) fn escape_text(s: &str, out: &mut String) {
+    out.push_str(&escape_text_cow(s));
+}
+
+/// Escapes for a double-quoted attribute value.
+pub(crate) fn escape_attr(s: &str, out: &mut String) {
+    out.push_str(&escape_attr_cow(s));
 }
 
 /// Resolves one entity reference starting *after* the `&`. Returns the
@@ -67,6 +97,17 @@ mod tests {
         let mut a = String::new();
         escape_attr(r#"say "hi" & 'bye'"#, &mut a);
         assert_eq!(a, "say &quot;hi&quot; &amp; &apos;bye&apos;");
+    }
+
+    #[test]
+    fn clean_strings_borrow() {
+        assert!(matches!(escape_text_cow("plain text"), std::borrow::Cow::Borrowed(_)));
+        assert!(matches!(escape_attr_cow("plain attr"), std::borrow::Cow::Borrowed(_)));
+        // Attribute escaping is stricter than text escaping.
+        assert!(matches!(escape_text_cow(r#"has "quotes""#), std::borrow::Cow::Borrowed(_)));
+        assert!(matches!(escape_attr_cow(r#"has "quotes""#), std::borrow::Cow::Owned(_)));
+        // UTF-8 passes the byte scan untouched.
+        assert!(matches!(escape_text_cow("déjà vü"), std::borrow::Cow::Borrowed(_)));
     }
 
     #[test]

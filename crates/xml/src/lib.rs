@@ -15,7 +15,13 @@
 //!   [`Element::to_pretty_xml`]),
 //! * **deep-union merge** in the style of Buneman et al.'s deterministic
 //!   model for semistructured data ([`merge`]),
-//! * a structural diff used by the synchronization subsystem ([`diff`]).
+//! * a structural diff used by the synchronization subsystem ([`diff`]),
+//! * the **zero-copy hot path** (DESIGN.md §10): arena documents with
+//!   interned names and value slices over the retained input
+//!   ([`ArenaDoc`]), and structural-sharing merge that grafts unchanged
+//!   subtrees instead of cloning them ([`merge_arena`], [`MergeOut`]).
+//!   The owned tree is retained as the differential oracle — the arena
+//!   path must stay byte-identical through parse/merge/serialize.
 //!
 //! No external XML crate is used: the data model *is* part of the system
 //! being reproduced.
@@ -23,8 +29,11 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod arena;
+mod arena_merge;
 mod error;
 mod escape;
+mod intern;
 mod merge;
 mod node;
 mod parser;
@@ -32,7 +41,10 @@ mod path;
 mod tree_diff;
 mod writer;
 
+pub use arena::{ArenaChild, ArenaDoc, NodeId};
+pub use arena_merge::{merge_arena, merge_arena_all, MergeOut, MergeStats};
 pub use error::{ParseError, XmlError};
+pub use intern::{NameId, NameInterner};
 pub use merge::{merge, merge_all, MergeKeys};
 pub use node::{Element, Node};
 pub use parser::parse;

@@ -50,6 +50,12 @@ impl MergeKeys {
         self.keys.get(tag).cloned()
     }
 
+    /// Borrowed form of [`MergeKeys::explicit_key`] for the arena merge
+    /// hot path: no clone per identity probe.
+    pub fn key_attr(&self, tag: &str) -> Option<&str> {
+        self.keys.get(tag).map(String::as_str)
+    }
+
     /// Returns the identity of `e` among its siblings: `(tag, key-value)`
     /// when a key attribute applies and is present. Two siblings with
     /// equal identity denote the same logical node.
@@ -85,7 +91,7 @@ impl MergeKeys {
 /// let lucent = parse(r#"<address-book><item id="2"><name>Rick</name></item></address-book>"#).unwrap();
 /// let keys = MergeKeys::new().with_key("item", "id");
 /// let book = merge(&yahoo, &lucent, &keys).unwrap();
-/// assert_eq!(book.children_named("item").len(), 2);
+/// assert_eq!(book.children_named("item").count(), 2);
 /// ```
 pub fn merge(a: &Element, b: &Element, keys: &MergeKeys) -> Result<Element, XmlError> {
     if a.name != b.name {
@@ -193,7 +199,7 @@ pub fn merge(a: &Element, b: &Element, keys: &MergeKeys) -> Result<Element, XmlE
     add_side(b, a, false, &mut merged, &mut index)?;
 
     if !merged_text.trim().is_empty() {
-        merged.push(Node::Text(merged_text));
+        merged.push(Node::Text(merged_text.into_owned()));
     }
     out.children = merged;
     Ok(out)
@@ -233,7 +239,7 @@ mod tests {
         )
         .unwrap();
         let m = merge(&yahoo, &lucent, &keys()).unwrap();
-        assert_eq!(m.children_named("item").len(), 2);
+        assert_eq!(m.children_named("item").count(), 2);
     }
 
     #[test]
@@ -241,7 +247,7 @@ mod tests {
         let a = parse(r#"<book><item id="1"><name>Bob</name></item></book>"#).unwrap();
         let b = parse(r#"<book><item id="1"><phone>555</phone></item></book>"#).unwrap();
         let m = merge(&a, &b, &keys()).unwrap();
-        let items = m.children_named("item");
+        let items: Vec<_> = m.children_named("item").collect();
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].child("name").unwrap().text(), "Bob");
         assert_eq!(items[0].child("phone").unwrap().text(), "555");
@@ -279,7 +285,7 @@ mod tests {
         let b = parse(r#"<l><v>2</v><v>3</v></l>"#).unwrap();
         // <v> carries no key attr; exact duplicates collapse.
         let m = merge(&a, &b, &MergeKeys::new()).unwrap();
-        assert_eq!(m.children_named("v").len(), 3);
+        assert_eq!(m.children_named("v").count(), 3);
     }
 
     #[test]
@@ -287,7 +293,7 @@ mod tests {
         let a = parse(r#"<l><entry id="x"><a>1</a></entry></l>"#).unwrap();
         let b = parse(r#"<l><entry id="x"><b>2</b></entry></l>"#).unwrap();
         let m = merge(&a, &b, &MergeKeys::new()).unwrap();
-        assert_eq!(m.children_named("entry").len(), 1);
+        assert_eq!(m.children_named("entry").count(), 1);
     }
 
     #[test]
@@ -310,8 +316,8 @@ mod tests {
         let ab = merge(&a, &b, &keys()).unwrap();
         let ba = merge(&b, &a, &keys()).unwrap();
         // Same multiset of items (order may differ).
-        let mut xs: Vec<String> = ab.children_named("item").iter().map(|e| e.to_xml()).collect();
-        let mut ys: Vec<String> = ba.children_named("item").iter().map(|e| e.to_xml()).collect();
+        let mut xs: Vec<String> = ab.children_named("item").map(|e| e.to_xml()).collect();
+        let mut ys: Vec<String> = ba.children_named("item").map(|e| e.to_xml()).collect();
         xs.sort();
         ys.sort();
         assert_eq!(xs, ys);
@@ -324,7 +330,7 @@ mod tests {
             .map(|i| parse(&format!(r#"<b><item id="{i}"/></b>"#)).unwrap())
             .collect();
         let m = merge_all(&parts, &keys()).unwrap();
-        assert_eq!(m.children_named("item").len(), 3);
+        assert_eq!(m.children_named("item").count(), 3);
         assert!(merge_all(&[], &keys()).is_err());
     }
 }

@@ -124,9 +124,10 @@ impl Element {
         self.child_elements_mut().find(|e| e.name == name)
     }
 
-    /// Returns all child elements with the given tag name.
-    pub fn children_named(&self, name: &str) -> Vec<&Element> {
-        self.child_elements().filter(|e| e.name == name).collect()
+    /// Iterates over child elements with the given tag name. Borrowing
+    /// and lazy — no `Vec` is allocated on this (hot) path.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
     }
 
     /// Appends a child element.
@@ -139,15 +140,25 @@ impl Element {
         self.children.push(Node::Text(text.into()));
     }
 
-    /// The concatenation of all *direct* text children.
-    pub fn text(&self) -> String {
-        let mut out = String::new();
-        for ch in &self.children {
-            if let Node::Text(t) = ch {
-                out.push_str(t);
+    /// The concatenation of all *direct* text children. Borrows when
+    /// there is at most one text child (the overwhelmingly common case
+    /// for profile leaves) — no allocation on that fast path.
+    pub fn text(&self) -> std::borrow::Cow<'_, str> {
+        use std::borrow::Cow;
+        let mut texts = self.children.iter().filter_map(Node::as_text);
+        let Some(first) = texts.next() else { return Cow::Borrowed("") };
+        match texts.next() {
+            None => Cow::Borrowed(first),
+            Some(second) => {
+                let mut out = String::with_capacity(first.len() + second.len());
+                out.push_str(first);
+                out.push_str(second);
+                for t in texts {
+                    out.push_str(t);
+                }
+                Cow::Owned(out)
             }
         }
-        out
     }
 
     /// The concatenation of all text in the subtree, document order.
@@ -370,7 +381,7 @@ mod tests {
         assert!(root.get_path(&["Nope"]).is_none());
         // Re-walking must not duplicate intermediates.
         root.get_or_create_path(&["MyContacts", "address-book"]);
-        assert_eq!(root.children_named("MyContacts").len(), 1);
+        assert_eq!(root.children_named("MyContacts").count(), 1);
     }
 
     #[test]

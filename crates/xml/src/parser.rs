@@ -289,11 +289,11 @@ fn normalize_whitespace(elem: &mut Element) {
     }
 }
 
-fn is_name_start(b: u8) -> bool {
+pub(crate) fn is_name_start(b: u8) -> bool {
     b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
 }
 
-fn is_name_char(b: u8) -> bool {
+pub(crate) fn is_name_char(b: u8) -> bool {
     is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.' || b == b':'
 }
 

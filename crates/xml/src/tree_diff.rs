@@ -151,7 +151,7 @@ fn diff_into(a: &Element, b: &Element, keys: &MergeKeys, at: NodePath, ops: &mut
     // Text.
     let (ta, tb) = (a.text(), b.text());
     if ta.trim() != tb.trim() && !(ta.trim().is_empty() && tb.trim().is_empty()) {
-        ops.push(EditOp::SetText { path: at.clone(), text: tb });
+        ops.push(EditOp::SetText { path: at.clone(), text: tb.into_owned() });
     }
 
     // Children: match keyed by identity, unkeyed by equality.
@@ -275,8 +275,8 @@ mod tests {
         let ops = diff(&a, &b, &keys());
         let got = apply_all(a, &ops);
         // Order-insensitive comparison of items.
-        let mut gx: Vec<_> = got.children_named("item").iter().map(|e| e.to_xml()).collect();
-        let mut bx: Vec<_> = b.children_named("item").iter().map(|e| e.to_xml()).collect();
+        let mut gx: Vec<_> = got.children_named("item").map(|e| e.to_xml()).collect();
+        let mut bx: Vec<_> = b.children_named("item").map(|e| e.to_xml()).collect();
         gx.sort();
         bx.sort();
         assert_eq!(gx, bx);
@@ -303,8 +303,8 @@ mod tests {
         let b = parse(r#"<l><v>2</v><v>3</v></l>"#).unwrap();
         let ops = diff(&a, &b, &MergeKeys::new());
         let got = apply_all(a, &ops);
-        let mut gx: Vec<_> = got.children_named("v").iter().map(|e| e.text()).collect();
-        let mut bx: Vec<_> = b.children_named("v").iter().map(|e| e.text()).collect();
+        let mut gx: Vec<_> = got.children_named("v").map(|e| e.text()).collect();
+        let mut bx: Vec<_> = b.children_named("v").map(|e| e.text()).collect();
         gx.sort();
         bx.sort();
         assert_eq!(gx, bx);

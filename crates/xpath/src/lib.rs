@@ -10,7 +10,9 @@
 //! * an AST ([`Path`], [`LocStep`], [`Predicate`]),
 //! * a parser ([`Path::parse`]),
 //! * an evaluator over [`gupster_xml::Element`] trees ([`Path::select`],
-//!   [`Path::select_strings`]),
+//!   [`Path::select_strings`]) and a zero-copy twin over
+//!   [`gupster_xml::ArenaDoc`] ([`Path::select_arena`]) that returns node
+//!   ids instead of cloned subtrees,
 //! * **containment** ([`contains`]) and **overlap** ([`may_overlap`])
 //!   decision procedures in the homomorphism style of Deutsch–Tannen /
 //!   Miklau–Suciu, which the registry uses to match request paths against
@@ -24,6 +26,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod arena_eval;
 mod ast;
 mod containment;
 mod eval;

@@ -15,7 +15,7 @@ use gupster::core::{fetch_merge, Gupster, StorePool};
 use gupster::policy::{Purpose, WeekTime};
 use gupster::schema::{gup_schema, sample_profile};
 use gupster::store::{StoreId, UpdateOp, XmlStore};
-use gupster::xml::{Element, MergeKeys};
+use gupster::xml::MergeKeys;
 use gupster::xpath::Path;
 
 fn main() {
@@ -95,7 +95,7 @@ fn main() {
         .lookup("alice", &target, "alice", Purpose::Query, WeekTime::at(0, 10, 5), 3)
         .unwrap();
     let r = fetch_merge(&pool, &out.referral, &signer, 3, &keys).unwrap();
-    let numbers: Vec<String> = r.iter().map(Element::text).collect();
+    let numbers: Vec<String> = r.iter().map(|e| e.text().into_owned()).collect();
     println!("\nread back everywhere: device number = {numbers:?}");
     assert_eq!(numbers, vec!["908-555-9999"]);
 }

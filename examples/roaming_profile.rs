@@ -60,7 +60,7 @@ fn main() {
         .lookup("alice", &cal, "alice", Purpose::Query, WeekTime::at(2, 9, 0), 10)
         .unwrap();
     let r = fetch_merge(&pool, &out.referral, &signer, 10, &keys).unwrap();
-    println!("\n1. calendar while roaming → {} event(s) via {}", r[0].children_named("event").len(), out.referral.entries[0].store);
+    println!("\n1. calendar while roaming → {} event(s) via {}", r[0].children_named("event").count(), out.referral.entries[0].store);
 
     // 2. One address book across providers: personal (Yahoo!) plus
     //    corporate (Lucent) merged by the client.
@@ -69,7 +69,7 @@ fn main() {
         .lookup("alice", &book, "alice", Purpose::Query, WeekTime::at(2, 9, 0), 11)
         .unwrap();
     let merged = fetch_merge(&pool, &out.referral, &signer, 11, &keys).unwrap();
-    println!("\n2. unified address book ({} entries):", merged[0].children_named("item").len());
+    println!("\n2. unified address book ({} entries):", merged[0].children_named("item").count());
     for item in merged[0].children_named("item") {
         println!(
             "   [{}] {} — {}",
@@ -128,6 +128,6 @@ fn main() {
     let merged = fetch_merge(&pool, &out.referral, &signer, 12, &keys).unwrap();
     println!(
         "\n3. after switching carriers (dropped {dropped} SprintPCS registrations): book still has {} entries (incl. Hans), presence now at gup.att.com",
-        merged[0].children_named("item").len()
+        merged[0].children_named("item").count()
     );
 }

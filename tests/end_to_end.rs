@@ -82,8 +82,7 @@ fn federated_lookup_across_three_backend_kinds() {
     assert_eq!(r.len(), 1);
     let names: Vec<String> = r[0]
         .children_named("item")
-        .iter()
-        .filter_map(|i| i.child("name").map(|n| n.text()))
+        .filter_map(|i| i.child("name").map(|n| n.text().into_owned()))
         .collect();
     assert!(names.iter().any(|n| n == "Rick Hull"), "LDAP data present: {names:?}");
     assert!(names.iter().any(|n| n == "Mom"), "portal data present: {names:?}");

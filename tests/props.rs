@@ -88,7 +88,7 @@ fn keyed_forest(rng: &mut StdRng) -> Element {
 
 fn item_ids(e: &Element) -> Vec<String> {
     let mut ids: Vec<String> =
-        e.children_named("item").iter().filter_map(|i| i.attr("id").map(str::to_string)).collect();
+        e.children_named("item").filter_map(|i| i.attr("id").map(str::to_string)).collect();
     ids.sort();
     ids
 }
