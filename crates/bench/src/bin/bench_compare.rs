@@ -22,6 +22,12 @@
 //! keep absolute throughput while quietly flattening the scaling
 //! curve, and this catches that.
 //!
+//! `BENCH_overload.json` (E20) also rides the row gate plus two extra
+//! checks: the goodput *knee point* (peak `indexed_sim_ops` across the
+//! load sweep) must stay within 15% of the baseline knee, and the
+//! call-class p99 at every load point at or below saturation must be
+//! inside the simulated 256µs call-setup budget.
+//!
 //! `--slo <fresh_slo.json> [baseline_slo.json]` gates E18's
 //! `BENCH_slo.json` instead: every objective must hold with the
 //! verdict re-derived from the recorded observations (p99 within
@@ -181,11 +187,64 @@ fn main() {
         std::process::exit(2);
     }
     failed += check_scaling(&baseline, &fresh);
+    failed += check_overload(&baseline, &fresh);
     if failed > 0 {
         eprintln!("bench_compare: {failed}/{compared} rows regressed past the {:.0}% floor", FLOOR * 100.0);
         std::process::exit(1);
     }
     println!("bench_compare: {compared} rows within {:.0}% of baseline", FLOOR * 100.0);
+}
+
+/// Simulated call-path p99 budget for E20 `overload` rows at or below
+/// saturation (`scale` ≤ 100); mirrors `CALL_P99_BUDGET` in the
+/// experiment itself.
+const CALL_P99_BUDGET_US: f64 = 256.0;
+
+/// The E20 overload gate, on top of the per-row goodput floor:
+///
+/// 1. the *knee point* — peak goodput (`indexed_sim_ops`) across the
+///    whole sweep — must stay within the floor of the baseline's knee;
+///    a change can keep every individual row above 85% while still
+///    shaving the plateau, and this catches that;
+/// 2. at every fresh load point at or below saturation (`scale` ≤
+///    100), the call-class p99 (`mean_candidates`, µs) must be inside
+///    the simulated 256µs call-setup budget — an absolute SLO, not a
+///    relative one, so it holds even on a fresh baseline.
+///
+/// Returns the number of failures (0 when neither file carries
+/// `overload` rows).
+fn check_overload(baseline: &[BenchRow], fresh: &[BenchRow]) -> usize {
+    let knee = |rows: &[BenchRow]| -> Option<f64> {
+        rows.iter()
+            .filter(|r| r.kind == "overload" && r.indexed_sim_ops > 0.0)
+            .map(|r| r.indexed_sim_ops)
+            .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.max(v))))
+    };
+    let mut failed = 0;
+    for f in fresh.iter().filter(|f| f.kind == "overload" && f.scale <= 100) {
+        let ok = f.mean_candidates <= CALL_P99_BUDGET_US;
+        if !ok {
+            failed += 1;
+        }
+        println!(
+            "overload call p99 @ {:>3}% load: {:.0}us (budget {CALL_P99_BUDGET_US:.0}us)  {}",
+            f.scale,
+            f.mean_candidates,
+            if ok { "ok" } else { "SLO BREACH (call path over budget below saturation)" }
+        );
+    }
+    if let (Some(base), Some(new)) = (knee(baseline), knee(fresh)) {
+        let ratio = new / base;
+        let ok = ratio >= FLOOR;
+        if !ok {
+            failed += 1;
+        }
+        println!(
+            "overload knee: baseline {base:.0}/s, fresh {new:.0}/s ({ratio:.2} of baseline)  {}",
+            if ok { "ok" } else { "REGRESSION (goodput plateau dropped >15%)" }
+        );
+    }
+    failed
 }
 
 /// The E17 shards gate: at the widest shard count present in both

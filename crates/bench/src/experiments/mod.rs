@@ -26,6 +26,7 @@ pub mod e16_registry_scale;
 pub mod e17_shards;
 pub mod e18_observability;
 pub mod e19_xml_hotpath;
+pub mod e20_overload;
 
 static TRACE_OUT: OnceLock<PathBuf> = OnceLock::new();
 /// Request-id offset for the next dumped hub, so traces from several
@@ -63,7 +64,7 @@ pub fn dump_traces(hub: &TelemetryHub) {
     }
 }
 
-/// Runs one experiment by id (`e1`…`e19`), or `all`.
+/// Runs one experiment by id (`e1`…`e20`), or `all`.
 pub fn run(which: &str) -> bool {
     match which {
         "e1" => e01_placement::run(),
@@ -85,8 +86,9 @@ pub fn run(which: &str) -> bool {
         "e17" => e17_shards::run(),
         "e18" => e18_observability::run(),
         "e19" => e19_xml_hotpath::run(),
+        "e20" => e20_overload::run(),
         "all" => {
-            for i in 1..=19 {
+            for i in 1..=20 {
                 run(&format!("e{i}"));
             }
         }

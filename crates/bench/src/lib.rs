@@ -9,6 +9,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrivals;
 pub mod benchjson;
 pub mod experiments;
 pub mod microbench;

@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod cache;
 mod client;
 pub mod constellation;
@@ -45,6 +46,10 @@ pub mod shard;
 pub mod subs;
 mod token;
 
+pub use admission::{
+    AdmissionConfig, Completion, IngressQueue, OfferOutcome, Priority, RequestOutcome, Shed,
+    ShedCause,
+};
 pub use client::{
     fetch_merge, fetch_merge_batched, fetch_merge_batched_traced, fetch_merge_traced,
     Singleflight, StorePool,
@@ -56,6 +61,6 @@ pub use error::GupsterError;
 pub use referral::{Referral, ReferralEntry};
 pub use registry::{Gupster, LookupOutcome, RegistryStats};
 pub use resilience::{ResilientExecutor, ResilientRun, RetryPolicy, ServedVia};
-pub use shard::{BatchReport, ShardRequest, ShardedRegistry};
+pub use shard::{BatchReport, OpenLoopRequest, OverloadReport, ShardRequest, ShardedRegistry};
 pub use sha256::{hmac_sha256, sha256_hex};
 pub use token::{SignedQuery, Signer, TokenError};

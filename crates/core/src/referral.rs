@@ -38,6 +38,11 @@ pub struct Referral {
     pub merge_required: bool,
     /// The signed, time-stamped rewritten query the stores will demand.
     pub token: SignedQuery,
+    /// `true` when `token` was reused from the registry's referral-token
+    /// cache rather than freshly signed. Stores have verified this exact
+    /// signature before, so their check memoizes (cheaper simulated
+    /// `token.verify`); the bytes on the wire are identical either way.
+    pub token_cached: bool,
 }
 
 impl Referral {
@@ -94,6 +99,7 @@ mod tests {
             entries,
             merge_required,
             token: signer.sign("arnaud", "app", vec!["/user/address-book".into()], 0),
+            token_cached: false,
         }
     }
 

@@ -28,7 +28,8 @@
 //! shard state — zero external deps, and the borrow checker proves the
 //! partitioning (each worker holds `&mut` to exactly one shard).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::Ordering;
 use std::thread;
 
 use gupster_netsim::SimTime;
@@ -42,9 +43,14 @@ use gupster_telemetry::{
 use gupster_xml::{Element, MergeKeys};
 use gupster_xpath::Path;
 
-use crate::client::{Singleflight, StorePool};
+use crate::admission::{
+    AdmissionConfig, Completion, IngressQueue, Priority, RequestOutcome, Shed,
+};
+use crate::cache::ResultCache;
+use crate::client::{fetch_merge_batched_traced, Singleflight, StorePool};
 use crate::error::GupsterError;
 use crate::registry::{Gupster, LookupOutcome};
+use crate::resilience::is_transient;
 
 // The scatter workers move `&mut Gupster` into scoped threads and share
 // `&StorePool` between them; both bounds are load-bearing, so break the
@@ -104,6 +110,114 @@ impl BatchReport {
         let total_sim = SimTime(shard_sim.iter().map(|t| t.0).sum());
         BatchReport { shard_sim, makespan, total_sim }
     }
+}
+
+/// Fault-injection hook for open-loop runs: invoked once per admitted
+/// request with the service instant and the request; returning `Some`
+/// fails that execution before it reaches the pipeline.
+pub type OpenLoopProbe<'a> = &'a dyn Fn(SimTime, &ShardRequest) -> Option<GupsterError>;
+
+/// One arrival in an open-loop run: a request plus its arrival instant
+/// and priority class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenLoopRequest {
+    /// The request itself (owner routes both the physical shard and
+    /// the virtual ingress queue).
+    pub request: ShardRequest,
+    /// When the request arrives at the service (simulated clock).
+    pub arrival: SimTime,
+    /// Its priority class.
+    pub class: Priority,
+}
+
+/// Aggregate results of one [`ShardedRegistry::answer_open_loop`] run.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    /// Requests offered (arrivals).
+    pub offered: usize,
+    /// Requests admitted and answered by a full pipeline execution
+    /// (the result may still be a typed error).
+    pub admitted: u64,
+    /// Admitted requests whose pipeline returned `Ok`.
+    pub fresh: u64,
+    /// Requests (shed or transiently failed) covered by the admission
+    /// stale cache.
+    pub stale_served: u64,
+    /// Call-delivery requests shed by admission control.
+    pub shed_calls: u64,
+    /// Profile-edit / bulk requests shed by admission control.
+    pub shed_edits: u64,
+    /// Call-delivery arrivals offered.
+    pub offered_calls: u64,
+    /// Profile-edit arrivals offered.
+    pub offered_edits: u64,
+    /// Bulk services preempted by call arrivals.
+    pub preemptions: u64,
+    /// High-water waiting-room depth across all ingress queues.
+    pub max_queue_depth: usize,
+    /// The instant the last service completed (run makespan).
+    pub horizon: SimTime,
+    /// Total simulated execution time across all shards.
+    pub busy: SimTime,
+    /// Sojourn (wait + service) histogram of the call class.
+    pub call_latency: Histogram,
+    /// Sojourn histogram of the bulk class.
+    pub edit_latency: Histogram,
+}
+
+impl OverloadReport {
+    fn empty(offered: usize) -> Self {
+        OverloadReport {
+            offered,
+            admitted: 0,
+            fresh: 0,
+            stale_served: 0,
+            shed_calls: 0,
+            shed_edits: 0,
+            offered_calls: 0,
+            offered_edits: 0,
+            preemptions: 0,
+            max_queue_depth: 0,
+            horizon: SimTime::ZERO,
+            busy: SimTime::ZERO,
+            call_latency: Histogram::default(),
+            edit_latency: Histogram::default(),
+        }
+    }
+
+    /// Fraction of offered call-delivery requests that were shed.
+    pub fn call_shed_rate(&self) -> f64 {
+        if self.offered_calls == 0 {
+            0.0
+        } else {
+            self.shed_calls as f64 / self.offered_calls as f64
+        }
+    }
+
+    /// Fraction of offered profile-edit requests that were shed.
+    pub fn edit_shed_rate(&self) -> f64 {
+        if self.offered_edits == 0 {
+            0.0
+        } else {
+            self.shed_edits as f64 / self.offered_edits as f64
+        }
+    }
+
+    /// Fresh answers per simulated second (the goodput axis of E20).
+    pub fn goodput_per_sec(&self) -> f64 {
+        if self.horizon == SimTime::ZERO {
+            0.0
+        } else {
+            self.fresh as f64 / (self.horizon.0 as f64 / 1_000_000.0)
+        }
+    }
+}
+
+/// The stale-cache key the admission plane shares shape with the
+/// resilience ladder: a NUL can appear in neither a user id nor a
+/// requester id.
+fn stale_key(owner: &str, requester: &str) -> String {
+    format!("{owner}\u{0}{requester}")
 }
 
 /// Cumulative per-shard execution gauges, maintained at every
@@ -212,6 +326,24 @@ impl ShardedRegistry {
     /// Provisions a relationship on the owner's shard.
     pub fn set_relationship(&mut self, owner: &str, requester: &str, relationship: &str) {
         self.shard_mut(owner).set_relationship(owner, requester, relationship);
+    }
+
+    /// Switches on the referral-token cache on every shard (see
+    /// [`Gupster::enable_token_cache`]). An owner's requests always land
+    /// on the same shard, so per-key cache behavior — and therefore
+    /// every simulated cost — is identical at any shard count.
+    pub fn enable_token_cache(&mut self) {
+        for g in &mut self.shards {
+            g.enable_token_cache();
+        }
+    }
+
+    /// Sets the token freshness window on every shard's signer (see
+    /// [`Gupster::set_token_freshness`]).
+    pub fn set_token_freshness(&mut self, window: u64) {
+        for g in &mut self.shards {
+            g.set_token_freshness(window);
+        }
     }
 
     /// Caps finished-span retention on every shard's hub (large sharded
@@ -472,6 +604,309 @@ impl ShardedRegistry {
             )
         })
     }
+
+    /// Open-loop execution under admission control (DESIGN.md §11).
+    ///
+    /// `arrivals` (non-decreasing arrival times) are routed to
+    /// [`AdmissionConfig::queues`] virtual ingress queues by owner hash
+    /// — deliberately independent of the physical shard count, so the
+    /// admitted/shed partition and every answer are byte-identical when
+    /// the same workload runs on 1 or 8 shards. Admitted requests
+    /// execute the full pipeline on the owner's shard at their service
+    /// start instant; [`Priority::CallDelivery`] preempts bulk work at
+    /// every queue. Completed answers feed an admission-plane stale
+    /// cache; shed and transiently-failed requests consult it before
+    /// resolving, so every arrival lands on exactly one
+    /// [`RequestOutcome`] — a fresh answer, a stale serve, or a typed
+    /// `Overloaded` rejection. No hangs, no silent drops.
+    ///
+    /// `probe` is the netsim hook: called with each request's service
+    /// start instant before the pipeline runs (the chaos suite advances
+    /// the network clock there and injects `StoreUnavailable` for
+    /// requests whose stores sit in a fault window).
+    pub fn answer_open_loop(
+        &mut self,
+        pool: &StorePool,
+        arrivals: &[OpenLoopRequest],
+        keys: &MergeKeys,
+        config: &AdmissionConfig,
+        probe: Option<OpenLoopProbe<'_>>,
+    ) -> (Vec<RequestOutcome>, OverloadReport) {
+        assert!(config.queues >= 1, "admission needs at least one ingress queue");
+        for w in arrivals.windows(2) {
+            assert!(
+                w[0].arrival <= w[1].arrival,
+                "open-loop arrivals must be offered in non-decreasing time order"
+            );
+        }
+        let n = arrivals.len();
+        let mut report = OverloadReport::empty(n);
+        if n == 0 {
+            return (Vec::new(), report);
+        }
+        report.horizon = arrivals[n - 1].arrival;
+        let n_shards = self.shards.len();
+        let key_base = self.ops;
+        let route_shard =
+            |owner: &str| -> usize { (shard_hash(owner) % n_shards as u64) as usize };
+
+        // Hot-key views and per-shard routing gauges are fleet-level
+        // bookkeeping: same values at any shard count.
+        let mut routed = vec![0u64; n_shards];
+        for a in arrivals {
+            *self.hot_users.entry(a.request.owner.clone()).or_default() += 1;
+            *self.hot_paths.entry(a.request.path.to_string()).or_default() += 1;
+            routed[route_shard(&a.request.owner)] += 1;
+            match a.class {
+                Priority::CallDelivery => report.offered_calls += 1,
+                Priority::ProfileEdit => report.offered_edits += 1,
+            }
+        }
+
+        let mut queues: Vec<IngressQueue> =
+            (0..config.queues).map(|q| IngressQueue::new(q, config.capacity, config.call_slots)).collect();
+        let mut results: Vec<Option<Result<Vec<Element>, GupsterError>>> =
+            (0..n).map(|_| None).collect();
+        let mut outcomes: Vec<Option<RequestOutcome>> = (0..n).map(|_| None).collect();
+        let mut exec_busy = vec![SimTime::ZERO; n_shards];
+        let mut stale = ResultCache::new(config.stale_capacity);
+        let mut stale_at: HashMap<(String, String), u64> = HashMap::new();
+        let mut completions: Vec<Completion> = Vec::new();
+
+        for (i, a) in arrivals.iter().enumerate() {
+            let owner_shard = route_shard(&a.request.owner);
+            // The admission decision itself is a per-request fixed-cost
+            // stage charged to the owning shard's hub, so the fleet
+            // `admission.decide` histogram is shard-count invariant.
+            self.shards[owner_shard]
+                .telemetry()
+                .record_stage(stage::ADMISSION_DECIDE, config.decide_cost);
+            let q = (shard_hash(&a.request.owner) % config.queues as u64) as usize;
+
+            completions.clear();
+            let offer = {
+                let shards = &mut self.shards;
+                let results = &mut results;
+                let exec_busy = &mut exec_busy;
+                let mut exec = |j: usize, start: SimTime| -> SimTime {
+                    let (res, cost) = execute_open(
+                        shards, pool, keys, &arrivals[j], probe, key_base + j as u64, start,
+                    );
+                    exec_busy[route_shard(&arrivals[j].request.owner)] += cost;
+                    results[j] = Some(res);
+                    cost
+                };
+                // Advance every queue to this arrival first, so the
+                // stale cache holds exactly the answers completed
+                // before `now` regardless of which queue they ran on.
+                for queue in queues.iter_mut() {
+                    queue.run_until(a.arrival, &mut exec, &mut completions);
+                }
+                queues[q].offer(i, a.class, a.arrival, &mut exec, &mut completions)
+            };
+            // Per-key freshness is last-completed-wins: settle in
+            // finish order, not queue order.
+            completions.sort_by_key(|c| (c.finished, c.idx));
+            for c in &completions {
+                self.settle_open(arrivals, c, &mut results, &mut outcomes, &mut stale, &mut stale_at, &mut report);
+            }
+            if offer.preempted {
+                report.preemptions += 1;
+                self.shards[owner_shard]
+                    .telemetry()
+                    .counters()
+                    .preemptions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(shed) = offer.shed {
+                self.shed_open(arrivals, shed, &mut outcomes, &mut stale, &stale_at, &mut report);
+            }
+        }
+
+        // Drain the backlog to quiescence.
+        completions.clear();
+        {
+            let shards = &mut self.shards;
+            let results = &mut results;
+            let exec_busy = &mut exec_busy;
+            let mut exec = |j: usize, start: SimTime| -> SimTime {
+                let (res, cost) = execute_open(
+                    shards, pool, keys, &arrivals[j], probe, key_base + j as u64, start,
+                );
+                exec_busy[route_shard(&arrivals[j].request.owner)] += cost;
+                results[j] = Some(res);
+                cost
+            };
+            for queue in queues.iter_mut() {
+                queue.drain(&mut exec, &mut completions);
+            }
+        }
+        completions.sort_by_key(|c| (c.finished, c.idx));
+        for c in &completions {
+            self.settle_open(arrivals, c, &mut results, &mut outcomes, &mut stale, &mut stale_at, &mut report);
+        }
+
+        report.max_queue_depth = queues.iter().map(IngressQueue::max_depth).max().unwrap_or(0);
+        report.busy = SimTime(exec_busy.iter().map(|t| t.0).sum());
+        debug_assert_eq!(
+            report.preemptions,
+            queues.iter().map(IngressQueue::preemptions).sum::<u64>()
+        );
+
+        // Gather-style accounting on the routing thread: the open-loop
+        // run is one observation window whose makespan is its horizon.
+        self.ops += n as u64;
+        self.makespan_total += report.horizon;
+        for (shard, acc) in self.accum.iter_mut().enumerate() {
+            acc.requests += routed[shard];
+            acc.busy += exec_busy[shard];
+            acc.windows += 1;
+            acc.queued_total += routed[shard];
+            acc.queued_max = acc.queued_max.max(routed[shard]);
+        }
+
+        let outcomes = outcomes
+            .into_iter()
+            .map(|o| o.expect("open-loop run left a request unresolved"))
+            .collect();
+        (outcomes, report)
+    }
+
+    /// Resolves one completed service: records per-class sojourn,
+    /// refreshes the admission stale cache on success and degrades
+    /// transient pipeline failures to the stale cache when possible.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_open(
+        &self,
+        arrivals: &[OpenLoopRequest],
+        c: &Completion,
+        results: &mut [Option<Result<Vec<Element>, GupsterError>>],
+        outcomes: &mut [Option<RequestOutcome>],
+        stale: &mut ResultCache,
+        stale_at: &mut HashMap<(String, String), u64>,
+        report: &mut OverloadReport,
+    ) {
+        let a = &arrivals[c.idx];
+        let r = &a.request;
+        let hub = self.shards[(shard_hash(&r.owner) % self.shards.len() as u64) as usize].telemetry();
+        let sojourn = c.finished.saturating_sub(c.arrived);
+        match a.class {
+            Priority::CallDelivery => {
+                hub.record_stage(stage::CLASS_CALL_DELIVERY, sojourn);
+                report.call_latency.record(sojourn);
+            }
+            Priority::ProfileEdit => {
+                hub.record_stage(stage::CLASS_PROFILE_EDIT, sojourn);
+                report.edit_latency.record(sojourn);
+            }
+        }
+        hub.counters().admitted.fetch_add(1, Ordering::Relaxed);
+        report.admitted += 1;
+        report.horizon = report.horizon.max(c.finished);
+        let res = results[c.idx].take().expect("completed service without an executed result");
+        let key = stale_key(&r.owner, &r.requester);
+        let outcome = match res {
+            Ok(elems) => {
+                report.fresh += 1;
+                stale.put(&key, &r.path, elems.clone());
+                stale_at.insert((key, r.path.to_string()), r.now);
+                RequestOutcome::Answer(Ok(elems))
+            }
+            Err(e) if is_transient(&e) => {
+                // A fault window bit the execution: the open-loop
+                // analogue of the ladder's stale rung.
+                match stale.get(&key, &r.path) {
+                    Some(result) => {
+                        let age = stale_at
+                            .get(&(key, r.path.to_string()))
+                            .map(|&at| r.now.saturating_sub(at))
+                            .unwrap_or(0);
+                        hub.counters().stale_serves.fetch_add(1, Ordering::Relaxed);
+                        report.stale_served += 1;
+                        RequestOutcome::Stale { result, age }
+                    }
+                    None => RequestOutcome::Answer(Err(e)),
+                }
+            }
+            Err(e) => RequestOutcome::Answer(Err(e)),
+        };
+        outcomes[c.idx] = Some(outcome);
+    }
+
+    /// Resolves one shed request: typed rejection, unless the stale
+    /// cache still covers the (owner, requester, path).
+    fn shed_open(
+        &self,
+        arrivals: &[OpenLoopRequest],
+        shed: Shed,
+        outcomes: &mut [Option<RequestOutcome>],
+        stale: &mut ResultCache,
+        stale_at: &HashMap<(String, String), u64>,
+        report: &mut OverloadReport,
+    ) {
+        let a = &arrivals[shed.idx];
+        let r = &a.request;
+        debug_assert_eq!(a.class, shed.cause.class, "shed class must match the request's");
+        let hub = self.shards[(shard_hash(&r.owner) % self.shards.len() as u64) as usize].telemetry();
+        match a.class {
+            Priority::CallDelivery => {
+                hub.counters().shed_calls.fetch_add(1, Ordering::Relaxed);
+                report.shed_calls += 1;
+            }
+            Priority::ProfileEdit => {
+                hub.counters().shed_edits.fetch_add(1, Ordering::Relaxed);
+                report.shed_edits += 1;
+            }
+        }
+        let key = stale_key(&r.owner, &r.requester);
+        let outcome = match stale.get(&key, &r.path) {
+            Some(result) => {
+                let age = stale_at
+                    .get(&(key, r.path.to_string()))
+                    .map(|&at| r.now.saturating_sub(at))
+                    .unwrap_or(0);
+                hub.counters().overload_stale_serves.fetch_add(1, Ordering::Relaxed);
+                report.stale_served += 1;
+                RequestOutcome::Stale { result, age }
+            }
+            None => RequestOutcome::Overloaded(shed.cause),
+        };
+        debug_assert!(outcomes[shed.idx].is_none(), "a request must resolve exactly once");
+        outcomes[shed.idx] = Some(outcome);
+    }
+}
+
+/// Runs one admitted request's full pipeline on its owning shard at its
+/// service start instant, under a `shard.request` trace keyed by global
+/// submission index. Returns the pipeline result and its traced cost.
+fn execute_open(
+    shards: &mut [Gupster],
+    pool: &StorePool,
+    keys: &MergeKeys,
+    a: &OpenLoopRequest,
+    probe: Option<OpenLoopProbe<'_>>,
+    key: u64,
+    start: SimTime,
+) -> (Result<Vec<Element>, GupsterError>, SimTime) {
+    let shard = (shard_hash(&a.request.owner) % shards.len() as u64) as usize;
+    let g = &mut shards[shard];
+    let hub = g.telemetry();
+    let mut tracer = hub.tracer(stage::SHARD_REQUEST);
+    tracer.set_key(key);
+    let r = &a.request;
+    let res = (|| {
+        if let Some(p) = probe {
+            if let Some(e) = p(start, r) {
+                return Err(e);
+            }
+        }
+        let out =
+            g.lookup_traced(&r.owner, &r.path, &r.requester, r.purpose, r.time, r.now, &mut tracer)?;
+        let signer = g.signer();
+        fetch_merge_batched_traced(pool, &out.referral, &signer, r.now, keys, &mut tracer)
+    })();
+    let cost = tracer.now();
+    (res, cost)
 }
 
 #[cfg(test)]

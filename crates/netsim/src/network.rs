@@ -238,6 +238,18 @@ impl Network {
         self.lock().now += dt;
     }
 
+    /// Moves the clock forward to the absolute instant `t`, or leaves
+    /// it alone if it is already past `t`. Open-loop load drivers
+    /// replay arrival timestamps through this so each request's fault
+    /// window is evaluated at its own arrival instant without the
+    /// clock ever running backwards.
+    pub fn advance_to(&self, t: SimTime) {
+        let mut inner = self.lock();
+        if t > inner.now {
+            inner.now = t;
+        }
+    }
+
     /// Whether `node` is dark at the current clock.
     pub fn node_offline(&self, node: NodeId) -> bool {
         let inner = self.lock();

@@ -53,6 +53,19 @@ pub struct Counters {
     pub sync_conflicts: AtomicU64,
     /// Sync sessions that fell back to the slow full-document path.
     pub sync_slow_paths: AtomicU64,
+    /// Open-loop requests admitted through the ingress queues.
+    pub admitted: AtomicU64,
+    /// Call-delivery requests shed by admission control.
+    pub shed_calls: AtomicU64,
+    /// Profile-edit / bulk requests shed by admission control.
+    pub shed_edits: AtomicU64,
+    /// Bulk services preempted by call-delivery arrivals.
+    pub preemptions: AtomicU64,
+    /// Shed requests answered from the admission stale cache.
+    pub overload_stale_serves: AtomicU64,
+    /// Referral tokens reused from the registry's token cache instead
+    /// of freshly signed (DESIGN.md §11).
+    pub token_reuse: AtomicU64,
 }
 
 /// A point-in-time copy of the [`Counters`].
@@ -96,6 +109,18 @@ pub struct CounterSnapshot {
     pub sync_conflicts: u64,
     /// Sync sessions that fell back to the slow full-document path.
     pub sync_slow_paths: u64,
+    /// Open-loop requests admitted through the ingress queues.
+    pub admitted: u64,
+    /// Call-delivery requests shed by admission control.
+    pub shed_calls: u64,
+    /// Profile-edit / bulk requests shed by admission control.
+    pub shed_edits: u64,
+    /// Bulk services preempted by call-delivery arrivals.
+    pub preemptions: u64,
+    /// Shed requests answered from the admission stale cache.
+    pub overload_stale_serves: u64,
+    /// Referral tokens reused from the token cache.
+    pub token_reuse: u64,
 }
 
 impl CounterSnapshot {
@@ -121,6 +146,12 @@ impl CounterSnapshot {
         self.sync_ops_shipped += other.sync_ops_shipped;
         self.sync_conflicts += other.sync_conflicts;
         self.sync_slow_paths += other.sync_slow_paths;
+        self.admitted += other.admitted;
+        self.shed_calls += other.shed_calls;
+        self.shed_edits += other.shed_edits;
+        self.preemptions += other.preemptions;
+        self.overload_stale_serves += other.overload_stale_serves;
+        self.token_reuse += other.token_reuse;
     }
 
     /// The counter's fields as `(name, value)` rows in declaration
@@ -148,6 +179,12 @@ impl CounterSnapshot {
             ("sync_ops_shipped", self.sync_ops_shipped),
             ("sync_conflicts", self.sync_conflicts),
             ("sync_slow_paths", self.sync_slow_paths),
+            ("admitted", self.admitted),
+            ("shed_calls", self.shed_calls),
+            ("shed_edits", self.shed_edits),
+            ("preemptions", self.preemptions),
+            ("overload_stale_serves", self.overload_stale_serves),
+            ("token_reuse", self.token_reuse),
         ]
     }
 
@@ -175,6 +212,12 @@ impl CounterSnapshot {
             "sync_ops_shipped" => &mut self.sync_ops_shipped,
             "sync_conflicts" => &mut self.sync_conflicts,
             "sync_slow_paths" => &mut self.sync_slow_paths,
+            "admitted" => &mut self.admitted,
+            "shed_calls" => &mut self.shed_calls,
+            "shed_edits" => &mut self.shed_edits,
+            "preemptions" => &mut self.preemptions,
+            "overload_stale_serves" => &mut self.overload_stale_serves,
+            "token_reuse" => &mut self.token_reuse,
             _ => return false,
         };
         *slot = value;
@@ -204,6 +247,12 @@ impl Counters {
             sync_ops_shipped: self.sync_ops_shipped.load(Ordering::Relaxed),
             sync_conflicts: self.sync_conflicts.load(Ordering::Relaxed),
             sync_slow_paths: self.sync_slow_paths.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed_calls: self.shed_calls.load(Ordering::Relaxed),
+            shed_edits: self.shed_edits.load(Ordering::Relaxed),
+            preemptions: self.preemptions.load(Ordering::Relaxed),
+            overload_stale_serves: self.overload_stale_serves.load(Ordering::Relaxed),
+            token_reuse: self.token_reuse.load(Ordering::Relaxed),
         }
     }
 
@@ -227,6 +276,12 @@ impl Counters {
         self.sync_ops_shipped.store(0, Ordering::Relaxed);
         self.sync_conflicts.store(0, Ordering::Relaxed);
         self.sync_slow_paths.store(0, Ordering::Relaxed);
+        self.admitted.store(0, Ordering::Relaxed);
+        self.shed_calls.store(0, Ordering::Relaxed);
+        self.shed_edits.store(0, Ordering::Relaxed);
+        self.preemptions.store(0, Ordering::Relaxed);
+        self.overload_stale_serves.store(0, Ordering::Relaxed);
+        self.token_reuse.store(0, Ordering::Relaxed);
     }
 }
 

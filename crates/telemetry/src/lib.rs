@@ -103,4 +103,13 @@ pub mod stage {
     /// The slow path: full-document exchange and deep merge (marker
     /// plus cost when taken).
     pub const SYNC_SLOW: &str = "sync.slow";
+    /// One admission-control decision at an ingress queue (fixed cost
+    /// per open-loop arrival).
+    pub const ADMISSION_DECIDE: &str = "admission.decide";
+    /// End-to-end sojourn (queue wait + service) of a call-delivery
+    /// class request under open-loop load.
+    pub const CLASS_CALL_DELIVERY: &str = "class.call_delivery";
+    /// End-to-end sojourn of a profile-edit / bulk class request under
+    /// open-loop load.
+    pub const CLASS_PROFILE_EDIT: &str = "class.profile_edit";
 }

@@ -14,69 +14,30 @@
 //!
 //! And across runs: the same seed reproduces the same outcome
 //! sequence, byte for byte.
+//!
+//! The final test crosses the two failure planes: a 10% fault
+//! schedule *while the service is overloaded*, driven through the
+//! open-loop admission engine.
 
-use std::collections::HashMap;
+mod common;
 
+use common::{book_request, build_pool, fault_world, keys as merge_keys, provision, request_stream, FaultWorld};
 use gupster::core::patterns::PatternExecutor;
-use gupster::core::{Gupster, GupsterError, ResilientExecutor, ServedVia, StorePool};
-use gupster::netsim::{Domain, FaultRates, FaultSchedule, Network, NodeId, SimTime};
+use gupster::core::{
+    AdmissionConfig, GupsterError, OpenLoopRequest, Priority, RequestOutcome, ResilientExecutor,
+    ServedVia, ShardRequest, ShardedRegistry,
+};
+use gupster::netsim::{FaultRates, FaultSchedule, SimTime};
 use gupster::policy::WeekTime;
 use gupster::schema::gup_schema;
-use gupster::store::StoreId;
-use gupster::xml::{Element, MergeKeys};
-use gupster::xpath::Path;
 
 const SEEDS: u64 = 50;
 const REQUESTS: usize = 40;
 const BUDGET: SimTime = SimTime::secs(3);
 
-struct World {
-    net: Network,
-    client: NodeId,
-    gupster_node: NodeId,
-    fault_nodes: Vec<NodeId>,
-    node_map: HashMap<StoreId, NodeId>,
-    gupster: Gupster,
-    pool: StorePool,
-}
-
-fn world(seed: u64) -> World {
-    let mut net = Network::new(seed);
-    let client = net.add_node("phone", Domain::Client);
-    let gupster_node = net.add_node("gupster.net", Domain::Internet);
-    let mut gupster = Gupster::new(gup_schema(), b"chaos");
-    let mut pool = StorePool::new();
-    let mut fault_nodes = vec![client, gupster_node];
-    let mut node_map = HashMap::new();
-    for s in 0..3 {
-        let label = format!("store{s}.net");
-        let node = net.add_node(label.clone(), Domain::Internet);
-        fault_nodes.push(node);
-        let mut store = gupster::store::XmlStore::new(label.clone());
-        let mut doc = Element::new("user").with_attr("id", "alice");
-        let mut book = Element::new("address-book");
-        for i in (s..30).step_by(3) {
-            book.push_child(
-                Element::new("item")
-                    .with_attr("id", i.to_string())
-                    .with_attr("type", format!("slice{s}"))
-                    .with_child(Element::new("name").with_text(format!("Contact {i}"))),
-            );
-        }
-        doc.push_child(book);
-        store.put_profile(doc).unwrap();
-        gupster
-            .register_component(
-                "alice",
-                Path::parse(&format!("/user[@id='alice']/address-book/item[@type='slice{s}']"))
-                    .unwrap(),
-                StoreId::new(label.clone()),
-            )
-            .unwrap();
-        node_map.insert(StoreId::new(label), node);
-        pool.add(Box::new(store));
-    }
-    World { net, client, gupster_node, fault_nodes, node_map, gupster, pool }
+/// Three stores, ten address-book items per slice.
+fn world(seed: u64) -> FaultWorld {
+    fault_world(seed, 3, 10, b"chaos")
 }
 
 /// One request's outcome, reduced to the fields that must replay
@@ -92,8 +53,8 @@ enum Outcome {
 /// Drives one seeded chaos run and checks the per-request invariants.
 fn chaos_run(seed: u64) -> Vec<Outcome> {
     let gap = SimTime::millis(150);
-    let keys = MergeKeys::new().with_key("item", "id");
-    let request = Path::parse("/user[@id='alice']/address-book").unwrap();
+    let keys = merge_keys();
+    let request = book_request();
     let t = WeekTime::at(0, 12, 0);
     let mut w = world(seed);
     let exec = PatternExecutor {
@@ -212,4 +173,101 @@ fn different_seeds_explore_different_schedules() {
         runs.windows(2).any(|w| w[0] != w[1]),
         "all {SEEDS} seeds produced identical outcome sequences"
     );
+}
+
+// ------------------------------------- faults under overload —
+
+/// Stable FNV-1a over the request identity — the injected fault
+/// schedule must not depend on `std` hasher seeding or shard count.
+fn fault_hash(r: &ShardRequest) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in r.owner.as_bytes().iter().chain(r.requester.as_bytes()).chain(&r.now.to_le_bytes()) {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The two failure planes at once: ~10% of admitted requests hit an
+/// injected store fault while arrivals come in faster than the
+/// service drains them. Invariants:
+///
+/// * every request resolves to availability (fresh or explicitly
+///   stale) or a typed rejection — never a hang, never an untyped
+///   error;
+/// * both planes actually bite (sheds > 0, injected faults > 0);
+/// * the outcome stream, the shed counters and the merged fleet
+///   observability section are byte-identical at every shard count —
+///   neither overload nor faults may leak deployment shape.
+#[test]
+fn faults_under_overload_yield_only_typed_outcomes_at_any_shard_count() {
+    const N: usize = 400;
+    let pool = build_pool();
+    let keys = merge_keys();
+    // ~2x the drain rate: tight 3us gaps overload the default queues
+    // (see tests/overload.rs, which sweeps the same workload).
+    let arrivals: Vec<OpenLoopRequest> = request_stream(N)
+        .into_iter()
+        .enumerate()
+        .map(|(op, request)| OpenLoopRequest {
+            request,
+            arrival: SimTime::micros(op as u64 * 3),
+            class: if op.is_multiple_of(4) { Priority::CallDelivery } else { Priority::ProfileEdit },
+        })
+        .collect();
+    let probe = |_start: SimTime, r: &ShardRequest| -> Option<GupsterError> {
+        fault_hash(r).is_multiple_of(10).then(|| GupsterError::StoreUnavailable("injected".to_string()))
+    };
+    let config = AdmissionConfig { capacity: 16, ..AdmissionConfig::default() };
+
+    let mut runs = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut reg = ShardedRegistry::new(gup_schema(), b"chaos", shards);
+        provision(|u, path, store| reg.register_component(u, path, store).unwrap());
+        let (outcomes, report) = reg.answer_open_loop(&pool, &arrivals, &keys, &config, Some(&probe));
+
+        let mut injected = 0u64;
+        for (i, o) in outcomes.iter().enumerate() {
+            match o {
+                RequestOutcome::Answer(Ok(_)) | RequestOutcome::Stale { .. } => {}
+                RequestOutcome::Overloaded(cause) => {
+                    assert!(cause.depth >= cause.capacity, "request {i}: shed below capacity");
+                }
+                RequestOutcome::Answer(Err(e)) => {
+                    // Injected store faults, plus the workload's own
+                    // deliberate error cases (unknown user, a path the
+                    // owner has no components for).
+                    assert!(
+                        matches!(
+                            e,
+                            GupsterError::StoreUnavailable(_)
+                                | GupsterError::UnknownUser(_)
+                                | GupsterError::NoCoverage(_)
+                        ),
+                        "request {i}: untyped failure {e:?}"
+                    );
+                    if matches!(e, GupsterError::StoreUnavailable(_)) {
+                        injected += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            report.shed_calls + report.shed_edits > 0,
+            "{shards} shards: overload never bit"
+        );
+        assert!(injected + report.stale_served > 0, "{shards} shards: faults never bit");
+        runs.push((
+            shards,
+            outcomes.iter().map(|o| format!("{o:?}")).collect::<Vec<_>>(),
+            (report.shed_calls, report.shed_edits, report.stale_served, report.admitted),
+            reg.obs_snapshot().fleet,
+        ));
+    }
+    let (_, ref_outcomes, ref_sheds, ref_fleet) = &runs[0];
+    for (shards, outcomes, sheds, fleet) in &runs[1..] {
+        assert_eq!(ref_outcomes, outcomes, "outcome stream diverged at {shards} shards");
+        assert_eq!(ref_sheds, sheds, "shed counters diverged at {shards} shards");
+        assert_eq!(ref_fleet, fleet, "fleet obs section diverged at {shards} shards");
+    }
 }

@@ -1,0 +1,200 @@
+//! Shared world builders for the integration suites.
+//!
+//! Two families of fixture used to be hand-rolled per suite:
+//!
+//! * the **fault world** — one client, one GUPster node and N profile
+//!   stores on a seeded [`Network`], with alice's address book sliced
+//!   across the stores by `@type` (resilience, chaos, overload);
+//! * the **multi-user workload** — `USERS` users with presence +
+//!   split address books over three stores, plus a deterministic mixed
+//!   request stream (shard differential, overload).
+//!
+//! Integration tests compile as independent crates, so each pulls this
+//! in with `mod common;` and uses only what it needs.
+#![allow(dead_code)]
+
+use std::collections::HashMap;
+
+use gupster::core::{Gupster, ShardRequest, StorePool};
+use gupster::netsim::{Domain, Network, NodeId};
+use gupster::policy::{Purpose, WeekTime};
+use gupster::schema::gup_schema;
+use gupster::store::{StoreId, XmlStore};
+use gupster::xml::{Element, MergeKeys};
+use gupster::xpath::Path;
+
+pub fn p(s: &str) -> Path {
+    Path::parse(s).unwrap()
+}
+
+pub fn keys() -> MergeKeys {
+    MergeKeys::new().with_key("item", "id")
+}
+
+// ---------------------------------------------------- fault world —
+
+/// A seeded single-owner world: a client, a GUPster node and N stores,
+/// each holding one `@type='slice{s}'` slice of alice's address book.
+pub struct FaultWorld {
+    pub net: Network,
+    pub client: NodeId,
+    pub gupster_node: NodeId,
+    /// The store nodes, in registration order.
+    pub store_nodes: Vec<NodeId>,
+    /// Every node a fault schedule may target (client + GUPster +
+    /// stores, in creation order).
+    pub fault_nodes: Vec<NodeId>,
+    pub node_map: HashMap<StoreId, NodeId>,
+    pub gupster: Gupster,
+    pub pool: StorePool,
+}
+
+/// Builds a [`FaultWorld`]: `stores` stores named `store{s}.net`, each
+/// carrying `items_per_slice` address-book items of `@type='slice{s}'`
+/// (ids interleaved across stores so merges exercise real reordering),
+/// registered as components of user `alice` under `key`.
+pub fn fault_world(seed: u64, stores: usize, items_per_slice: usize, key: &[u8]) -> FaultWorld {
+    let mut net = Network::new(seed);
+    let client = net.add_node("phone", Domain::Client);
+    let gupster_node = net.add_node("gupster.net", Domain::Internet);
+    let mut gupster = Gupster::new(gup_schema(), key);
+    let mut pool = StorePool::new();
+    let mut store_nodes = Vec::new();
+    let mut fault_nodes = vec![client, gupster_node];
+    let mut node_map = HashMap::new();
+    for s in 0..stores {
+        let label = format!("store{s}.net");
+        let node = net.add_node(label.clone(), Domain::Internet);
+        store_nodes.push(node);
+        fault_nodes.push(node);
+        let mut store = XmlStore::new(label.clone());
+        let mut doc = Element::new("user").with_attr("id", "alice");
+        let mut book = Element::new("address-book");
+        for i in (s..stores * items_per_slice).step_by(stores) {
+            book.push_child(
+                Element::new("item")
+                    .with_attr("id", i.to_string())
+                    .with_attr("type", format!("slice{s}"))
+                    .with_child(Element::new("name").with_text(format!("Contact {i}"))),
+            );
+        }
+        doc.push_child(book);
+        store.put_profile(doc).unwrap();
+        gupster
+            .register_component(
+                "alice",
+                p(&format!("/user[@id='alice']/address-book/item[@type='slice{s}']")),
+                StoreId::new(label.clone()),
+            )
+            .unwrap();
+        node_map.insert(StoreId::new(label), node);
+        pool.add(Box::new(store));
+    }
+    FaultWorld { net, client, gupster_node, store_nodes, fault_nodes, node_map, gupster, pool }
+}
+
+/// The canonical fault-world request: alice's whole address book.
+pub fn book_request() -> Path {
+    p("/user[@id='alice']/address-book")
+}
+
+// ---------------------------------------------- multi-user workload —
+
+pub const USERS: usize = 24;
+
+pub fn user(i: usize) -> String {
+    format!("user{i:02}")
+}
+
+/// Registers every user's presence + split address book. Works against
+/// anything exposing `register_component(user, path, store)` via the
+/// closure, so sequential and sharded registries provision through the
+/// exact same sequence.
+pub fn provision(mut register: impl FnMut(&str, Path, StoreId)) {
+    for i in 0..USERS {
+        let u = user(i);
+        register(
+            &u,
+            p(&format!("/user[@id='{u}']/presence")),
+            StoreId::new(format!("store{}", i % 3)),
+        );
+        register(
+            &u,
+            p(&format!("/user[@id='{u}']/address-book/item[@type='personal']")),
+            StoreId::new(format!("store{}", (i + 1) % 3)),
+        );
+        register(
+            &u,
+            p(&format!("/user[@id='{u}']/address-book/item[@type='corporate']")),
+            StoreId::new(format!("store{}", (i + 2) % 3)),
+        );
+    }
+}
+
+/// Three stores holding every user's presence + personal + corporate
+/// slices, on the same `i % 3` rotation [`provision`] registers.
+pub fn build_pool() -> StorePool {
+    let mut stores: Vec<XmlStore> = (0..3).map(|j| XmlStore::new(format!("store{j}"))).collect();
+    for i in 0..USERS {
+        let u = user(i);
+        let mut doc = Element::new("user").with_attr("id", u.clone());
+        doc.push_child(Element::new("presence").with_text(format!("online-{i}")));
+        stores[i % 3].put_profile(doc).unwrap();
+
+        let mut doc = Element::new("user").with_attr("id", u.clone());
+        let mut book = Element::new("address-book");
+        for k in 0..2 {
+            book.push_child(
+                Element::new("item")
+                    .with_attr("id", format!("p{k}"))
+                    .with_attr("type", "personal")
+                    .with_child(Element::new("name").with_text(format!("Friend {k} of {u}"))),
+            );
+        }
+        doc.push_child(book);
+        stores[(i + 1) % 3].put_profile(doc).unwrap();
+
+        let mut doc = Element::new("user").with_attr("id", u.clone());
+        let mut book = Element::new("address-book");
+        book.push_child(
+            Element::new("item")
+                .with_attr("id", "c0")
+                .with_attr("type", "corporate")
+                .with_child(Element::new("name").with_text(format!("Desk of {u}"))),
+        );
+        doc.push_child(book);
+        stores[(i + 2) % 3].put_profile(doc).unwrap();
+    }
+    let mut pool = StorePool::new();
+    for s in stores {
+        pool.add(Box::new(s));
+    }
+    pool
+}
+
+/// A deterministic request stream mixing point lookups, merged
+/// address-book answers, duplicates (singleflight fodder) and error
+/// cases (unknown user).
+pub fn request_stream(n: usize) -> Vec<ShardRequest> {
+    (0..n)
+        .map(|op| {
+            let u = user(op * 7 % USERS);
+            let path = match op % 5 {
+                0 | 1 => format!("/user[@id='{u}']/presence"),
+                2 | 3 => format!("/user[@id='{u}']/address-book"),
+                // Every fifth request repeats the previous owner's
+                // presence query — in-window duplicates.
+                _ => format!("/user[@id='{}']/presence", user((op - 1) * 7 % USERS)),
+            };
+            let owner = if op % 17 == 13 { "nobody".to_string() } else { u };
+            ShardRequest {
+                owner: owner.clone(),
+                path: p(&path),
+                requester: owner,
+                purpose: Purpose::Query,
+                time: WeekTime::at(1, 10, 0),
+                now: op as u64,
+            }
+        })
+        .collect()
+}

@@ -3,67 +3,18 @@
 //! referral → chaining → stale-cache, in order, with provenance
 //! marking the stage that answered.
 
-use std::collections::HashMap;
+mod common;
 
+use common::{book_request as request, fault_world, keys as merge_keys, FaultWorld};
 use gupster::core::patterns::{PatternExecutor, QueryPattern};
-use gupster::core::{Gupster, GupsterError, ResilientExecutor, ServedVia, StorePool};
-use gupster::netsim::{Domain, FaultSchedule, Network, NodeId, SimTime};
+use gupster::core::{GupsterError, ResilientExecutor, ServedVia};
+use gupster::netsim::{FaultSchedule, SimTime};
 use gupster::policy::WeekTime;
-use gupster::schema::gup_schema;
-use gupster::store::StoreId;
 use gupster::telemetry::stage;
-use gupster::xml::{Element, MergeKeys};
-use gupster::xpath::Path;
 
-struct World {
-    net: Network,
-    client: NodeId,
-    gupster_node: NodeId,
-    store_nodes: Vec<NodeId>,
-    node_map: HashMap<StoreId, NodeId>,
-    gupster: Gupster,
-    pool: StorePool,
-}
-
-fn world() -> World {
-    let mut net = Network::new(42);
-    let client = net.add_node("phone", Domain::Client);
-    let gupster_node = net.add_node("gupster.net", Domain::Internet);
-    let mut gupster = Gupster::new(gup_schema(), b"resilience");
-    let mut pool = StorePool::new();
-    let mut store_nodes = Vec::new();
-    let mut node_map = HashMap::new();
-    for s in 0..2 {
-        let label = format!("store{s}.net");
-        let node = net.add_node(label.clone(), Domain::Internet);
-        store_nodes.push(node);
-        let mut store = gupster::store::XmlStore::new(label.clone());
-        let mut doc = Element::new("user").with_attr("id", "alice");
-        let mut book = Element::new("address-book");
-        book.push_child(
-            Element::new("item")
-                .with_attr("id", format!("i{s}"))
-                .with_attr("type", format!("slice{s}"))
-                .with_child(Element::new("name").with_text(format!("Contact {s}"))),
-        );
-        doc.push_child(book);
-        store.put_profile(doc).unwrap();
-        gupster
-            .register_component(
-                "alice",
-                Path::parse(&format!("/user[@id='alice']/address-book/item[@type='slice{s}']"))
-                    .unwrap(),
-                StoreId::new(label.clone()),
-            )
-            .unwrap();
-        node_map.insert(StoreId::new(label), node);
-        pool.add(Box::new(store));
-    }
-    World { net, client, gupster_node, store_nodes, node_map, gupster, pool }
-}
-
-fn request() -> Path {
-    Path::parse("/user[@id='alice']/address-book").unwrap()
+/// Two stores, one address-book item each.
+fn world() -> FaultWorld {
+    fault_world(42, 2, 1, b"resilience")
 }
 
 const FOREVER: SimTime = SimTime(u64::MAX / 2);
@@ -71,7 +22,7 @@ const FOREVER: SimTime = SimTime(u64::MAX / 2);
 #[test]
 fn ladder_degrades_referral_to_chaining_to_stale_in_order() {
     let mut w = world();
-    let keys = MergeKeys::new().with_key("item", "id");
+    let keys = merge_keys();
     let exec = PatternExecutor {
         net: &w.net,
         client: w.client,
@@ -145,7 +96,7 @@ fn ladder_degrades_referral_to_chaining_to_stale_in_order() {
 #[test]
 fn refusals_are_never_papered_over_by_the_stale_cache() {
     let mut w = world();
-    let keys = MergeKeys::new().with_key("item", "id");
+    let keys = merge_keys();
     let exec = PatternExecutor {
         net: &w.net,
         client: w.client,
@@ -169,7 +120,7 @@ fn refusals_are_never_papered_over_by_the_stale_cache() {
 #[test]
 fn deadline_budget_is_a_typed_error_when_nothing_can_serve() {
     let mut w = world();
-    let keys = MergeKeys::new().with_key("item", "id");
+    let keys = merge_keys();
     // Every store dark from the start: the cache is cold, every rung
     // fails, and a tiny budget runs out during the retries.
     let mut all_dark = FaultSchedule::new();

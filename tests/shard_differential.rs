@@ -7,130 +7,23 @@
 //! every shard count, including when the resilience ladder is running
 //! over an injected fault schedule.
 
+mod common;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use common::{build_pool, keys, p, provision, request_stream};
 use gupster::core::patterns::PatternExecutor;
-use gupster::core::{
-    fetch_merge, Gupster, ResilientExecutor, ShardRequest, ShardedRegistry, StorePool,
-};
-use gupster::netsim::{
-    Domain, FaultRates, FaultSchedule, LatencyModel, Network, NodeId, SimTime,
-};
+use gupster::core::{fetch_merge, Gupster, ResilientExecutor, ShardRequest, ShardedRegistry, StorePool};
+use gupster::netsim::{FaultRates, FaultSchedule, LatencyModel, SimTime};
+use gupster::netsim::{Domain, Network, NodeId};
 use gupster::policy::{Effect, Purpose, WeekTime};
 use gupster::schema::gup_schema;
 use gupster::store::{
     Capabilities, ChangeEvent, DataStore, StoreError, StoreId, UpdateOp, XmlStore,
 };
-use gupster::xml::{Element, MergeKeys};
+use gupster::xml::Element;
 use gupster::xpath::Path;
-
-fn p(s: &str) -> Path {
-    Path::parse(s).unwrap()
-}
-
-fn keys() -> MergeKeys {
-    MergeKeys::new().with_key("item", "id")
-}
-
-// ----------------------------------------------------------- world —
-
-const USERS: usize = 24;
-
-fn user(i: usize) -> String {
-    format!("user{i:02}")
-}
-
-/// Registers every user's presence + split address book. Works against
-/// anything exposing `register_component(user, path, store)` via the
-/// closure, so the sequential and sharded registries provision through
-/// the exact same sequence.
-fn provision(mut register: impl FnMut(&str, Path, StoreId)) {
-    for i in 0..USERS {
-        let u = user(i);
-        register(
-            &u,
-            p(&format!("/user[@id='{u}']/presence")),
-            StoreId::new(format!("store{}", i % 3)),
-        );
-        register(
-            &u,
-            p(&format!("/user[@id='{u}']/address-book/item[@type='personal']")),
-            StoreId::new(format!("store{}", (i + 1) % 3)),
-        );
-        register(
-            &u,
-            p(&format!("/user[@id='{u}']/address-book/item[@type='corporate']")),
-            StoreId::new(format!("store{}", (i + 2) % 3)),
-        );
-    }
-}
-
-fn build_pool() -> StorePool {
-    let mut stores: Vec<XmlStore> = (0..3).map(|j| XmlStore::new(format!("store{j}"))).collect();
-    for i in 0..USERS {
-        let u = user(i);
-        let mut doc = Element::new("user").with_attr("id", u.clone());
-        doc.push_child(Element::new("presence").with_text(format!("online-{i}")));
-        stores[i % 3].put_profile(doc).unwrap();
-
-        let mut doc = Element::new("user").with_attr("id", u.clone());
-        let mut book = Element::new("address-book");
-        for k in 0..2 {
-            book.push_child(
-                Element::new("item")
-                    .with_attr("id", format!("p{k}"))
-                    .with_attr("type", "personal")
-                    .with_child(Element::new("name").with_text(format!("Friend {k} of {u}"))),
-            );
-        }
-        doc.push_child(book);
-        stores[(i + 1) % 3].put_profile(doc).unwrap();
-
-        let mut doc = Element::new("user").with_attr("id", u.clone());
-        let mut book = Element::new("address-book");
-        book.push_child(
-            Element::new("item")
-                .with_attr("id", "c0")
-                .with_attr("type", "corporate")
-                .with_child(Element::new("name").with_text(format!("Desk of {u}"))),
-        );
-        doc.push_child(book);
-        stores[(i + 2) % 3].put_profile(doc).unwrap();
-    }
-    let mut pool = StorePool::new();
-    for s in stores {
-        pool.add(Box::new(s));
-    }
-    pool
-}
-
-/// A deterministic request stream mixing point lookups, merged
-/// address-book answers, duplicates (singleflight fodder) and error
-/// cases (unknown user).
-fn request_stream(n: usize) -> Vec<ShardRequest> {
-    (0..n)
-        .map(|op| {
-            let u = user(op * 7 % USERS);
-            let path = match op % 5 {
-                0 | 1 => format!("/user[@id='{u}']/presence"),
-                2 | 3 => format!("/user[@id='{u}']/address-book"),
-                // Every fifth request repeats the previous owner's
-                // presence query — in-window duplicates.
-                _ => format!("/user[@id='{}']/presence", user((op - 1) * 7 % USERS)),
-            };
-            let owner = if op % 17 == 13 { "nobody".to_string() } else { u };
-            ShardRequest {
-                owner: owner.clone(),
-                path: p(&path),
-                requester: owner,
-                purpose: Purpose::Query,
-                time: WeekTime::at(1, 10, 0),
-                now: op as u64,
-            }
-        })
-        .collect()
-}
 
 // ------------------------------------------- sequential vs. sharded —
 
