@@ -28,6 +28,13 @@
 //! call-class p99 at every load point at or below saturation must be
 //! inside the simulated 256µs call-setup budget.
 //!
+//! `BENCH_subs.json` (E21) rides the row gate plus two absolute
+//! checks: every `subs` row must keep the index-vs-naive simulated
+//! match speedup at or above 10×, and every `fanout` row's coalesced
+//! message pairs per staged notification must stay at or below the
+//! 0.5 ceiling — both scale-independent, so the quick CI sweep gates
+//! them at its own sizes.
+//!
 //! `--slo <fresh_slo.json> [baseline_slo.json]` gates E18's
 //! `BENCH_slo.json` instead: every objective must hold with the
 //! verdict re-derived from the recorded observations (p99 within
@@ -188,6 +195,7 @@ fn main() {
     }
     failed += check_scaling(&baseline, &fresh);
     failed += check_overload(&baseline, &fresh);
+    failed += check_subs(&fresh);
     if failed > 0 {
         eprintln!("bench_compare: {failed}/{compared} rows regressed past the {:.0}% floor", FLOOR * 100.0);
         std::process::exit(1);
@@ -242,6 +250,55 @@ fn check_overload(baseline: &[BenchRow], fresh: &[BenchRow]) -> usize {
         println!(
             "overload knee: baseline {base:.0}/s, fresh {new:.0}/s ({ratio:.2} of baseline)  {}",
             if ok { "ok" } else { "REGRESSION (goodput plateau dropped >15%)" }
+        );
+    }
+    failed
+}
+
+/// Simulated index-vs-naive match speedup floor for E21 `subs` rows;
+/// mirrors `SPEEDUP_FLOOR` in the experiment itself.
+const SUBS_SPEEDUP_FLOOR: f64 = 10.0;
+/// Ceiling on coalesced message pairs per staged notification for E21
+/// `fanout` rows; mirrors `MPN_CEILING` in the experiment.
+const FANOUT_MPN_CEILING: f64 = 0.5;
+
+/// The E21 fanout gate, on top of the per-row throughput floor. Both
+/// checks are absolute (like the E20 p99 SLO), so they hold at the
+/// quick sweep's scales too:
+///
+/// 1. every `subs` row must keep the inverted index at or above
+///    `SUBS_SPEEDUP_FLOOR`× the naive matcher's simulated throughput;
+/// 2. every `fanout` row's coalesced message pairs per staged
+///    notification (`mean_candidates`) must stay at or below
+///    `FANOUT_MPN_CEILING` — coalescing quietly turned off would send
+///    one pair per notification (1.0) and trip this.
+///
+/// Returns the number of failures (0 when the fresh file carries no
+/// `subs`/`fanout` rows).
+fn check_subs(fresh: &[BenchRow]) -> usize {
+    let mut failed = 0;
+    for f in fresh.iter().filter(|f| f.kind == "subs" && f.naive_sim_ops > 0.0) {
+        let speedup = f.indexed_sim_ops / f.naive_sim_ops;
+        let ok = speedup >= SUBS_SPEEDUP_FLOOR;
+        if !ok {
+            failed += 1;
+        }
+        println!(
+            "subs speedup @ {:>7} subs: {speedup:.1}x (floor {SUBS_SPEEDUP_FLOOR:.0}x)  {}",
+            f.scale,
+            if ok { "ok" } else { "REGRESSION (index speedup under the floor)" }
+        );
+    }
+    for f in fresh.iter().filter(|f| f.kind == "fanout") {
+        let ok = f.mean_candidates <= FANOUT_MPN_CEILING;
+        if !ok {
+            failed += 1;
+        }
+        println!(
+            "fanout pairs/notification @ {:>7} watchers: {:.2} (ceiling {FANOUT_MPN_CEILING})  {}",
+            f.scale,
+            f.mean_candidates,
+            if ok { "ok" } else { "REGRESSION (delivery no longer coalesces)" }
         );
     }
     failed

@@ -27,6 +27,7 @@ pub mod e17_shards;
 pub mod e18_observability;
 pub mod e19_xml_hotpath;
 pub mod e20_overload;
+pub mod e21_fanout;
 
 static TRACE_OUT: OnceLock<PathBuf> = OnceLock::new();
 /// Request-id offset for the next dumped hub, so traces from several
@@ -64,7 +65,7 @@ pub fn dump_traces(hub: &TelemetryHub) {
     }
 }
 
-/// Runs one experiment by id (`e1`…`e20`), or `all`.
+/// Runs one experiment by id (`e1`…`e21`), or `all`.
 pub fn run(which: &str) -> bool {
     match which {
         "e1" => e01_placement::run(),
@@ -87,8 +88,9 @@ pub fn run(which: &str) -> bool {
         "e18" => e18_observability::run(),
         "e19" => e19_xml_hotpath::run(),
         "e20" => e20_overload::run(),
+        "e21" => e21_fanout::run(),
         "all" => {
-            for i in 1..=20 {
+            for i in 1..=21 {
                 run(&format!("e{i}"));
             }
         }

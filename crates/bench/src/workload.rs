@@ -141,6 +141,16 @@ pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// Samples a social-graph-shaped watcher assignment: `n_subs`
+/// subscriptions land on `n_owners` owners with Zipf-skewed popularity
+/// (`theta` ≈ 1 gives hub users watched by a large share of the
+/// population, per the social-overlay stress shape motivating E21).
+/// Returns the owner index of each subscription.
+pub fn social_watchers(n_owners: usize, n_subs: usize, theta: f64, r: &mut StdRng) -> Vec<usize> {
+    let zipf = Zipf::new(n_owners, theta);
+    (0..n_subs).map(|_| zipf.sample(r)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,4 +63,7 @@ pub use registry::{Gupster, LookupOutcome, RegistryStats};
 pub use resilience::{ResilientExecutor, ResilientRun, RetryPolicy, ServedVia};
 pub use shard::{BatchReport, OpenLoopRequest, OverloadReport, ShardRequest, ShardedRegistry};
 pub use sha256::{hmac_sha256, sha256_hex};
+pub use subs::{
+    DeliveryBatch, MatchOutcome, Notification, ShardedFanout, SubscriptionManager, WindowOutcome,
+};
 pub use token::{SignedQuery, Signer, TokenError};

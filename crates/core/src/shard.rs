@@ -65,7 +65,7 @@ const _: () = {
 /// Stable FNV-1a over the user id — the shard route must not depend on
 /// `std` hasher seeding, so per-shard counters and load factors are
 /// reproducible run to run.
-fn shard_hash(user: &str) -> u64 {
+pub(crate) fn shard_hash(user: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in user.as_bytes() {
         h ^= u64::from(*b);

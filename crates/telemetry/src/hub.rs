@@ -66,6 +66,15 @@ pub struct Counters {
     /// Referral tokens reused from the registry's token cache instead
     /// of freshly signed (DESIGN.md §11).
     pub token_reuse: AtomicU64,
+    /// Write events matched through the inverted subscription index
+    /// (DESIGN.md §12) instead of the linear watcher scan.
+    pub index_hits: AtomicU64,
+    /// Coalesced notification batches delivered (one message pair per
+    /// subscriber per delivery window).
+    pub fanout_batched: AtomicU64,
+    /// Notifications absorbed into an earlier message of the same
+    /// delivery window (dedup + per-subscriber coalescing).
+    pub fanout_coalesced: AtomicU64,
 }
 
 /// A point-in-time copy of the [`Counters`].
@@ -121,6 +130,12 @@ pub struct CounterSnapshot {
     pub overload_stale_serves: u64,
     /// Referral tokens reused from the token cache.
     pub token_reuse: u64,
+    /// Write events matched through the inverted subscription index.
+    pub index_hits: u64,
+    /// Coalesced notification batches delivered.
+    pub fanout_batched: u64,
+    /// Notifications absorbed into an earlier batch message.
+    pub fanout_coalesced: u64,
 }
 
 impl CounterSnapshot {
@@ -152,6 +167,9 @@ impl CounterSnapshot {
         self.preemptions += other.preemptions;
         self.overload_stale_serves += other.overload_stale_serves;
         self.token_reuse += other.token_reuse;
+        self.index_hits += other.index_hits;
+        self.fanout_batched += other.fanout_batched;
+        self.fanout_coalesced += other.fanout_coalesced;
     }
 
     /// The counter's fields as `(name, value)` rows in declaration
@@ -185,6 +203,9 @@ impl CounterSnapshot {
             ("preemptions", self.preemptions),
             ("overload_stale_serves", self.overload_stale_serves),
             ("token_reuse", self.token_reuse),
+            ("index_hits", self.index_hits),
+            ("fanout_batched", self.fanout_batched),
+            ("fanout_coalesced", self.fanout_coalesced),
         ]
     }
 
@@ -218,6 +239,9 @@ impl CounterSnapshot {
             "preemptions" => &mut self.preemptions,
             "overload_stale_serves" => &mut self.overload_stale_serves,
             "token_reuse" => &mut self.token_reuse,
+            "index_hits" => &mut self.index_hits,
+            "fanout_batched" => &mut self.fanout_batched,
+            "fanout_coalesced" => &mut self.fanout_coalesced,
             _ => return false,
         };
         *slot = value;
@@ -253,6 +277,9 @@ impl Counters {
             preemptions: self.preemptions.load(Ordering::Relaxed),
             overload_stale_serves: self.overload_stale_serves.load(Ordering::Relaxed),
             token_reuse: self.token_reuse.load(Ordering::Relaxed),
+            index_hits: self.index_hits.load(Ordering::Relaxed),
+            fanout_batched: self.fanout_batched.load(Ordering::Relaxed),
+            fanout_coalesced: self.fanout_coalesced.load(Ordering::Relaxed),
         }
     }
 
@@ -282,6 +309,9 @@ impl Counters {
         self.preemptions.store(0, Ordering::Relaxed);
         self.overload_stale_serves.store(0, Ordering::Relaxed);
         self.token_reuse.store(0, Ordering::Relaxed);
+        self.index_hits.store(0, Ordering::Relaxed);
+        self.fanout_batched.store(0, Ordering::Relaxed);
+        self.fanout_coalesced.store(0, Ordering::Relaxed);
     }
 }
 

@@ -112,4 +112,7 @@ pub mod stage {
     /// End-to-end sojourn of a profile-edit / bulk class request under
     /// open-loop load.
     pub const CLASS_PROFILE_EDIT: &str = "class.profile_edit";
+    /// Matching one store change event against the inverted
+    /// subscription index (trie walk + candidate confirmation).
+    pub const SUBS_INDEX: &str = "subs.index";
 }
