@@ -35,6 +35,11 @@
 //! 0.5 ceiling — both scale-independent, so the quick CI sweep gates
 //! them at its own sizes.
 //!
+//! `BENCH_sync.json` (E22) rides the row gate plus two absolute
+//! checks: every `sync` row at 10k+ edits must keep the delta session
+//! at or above 5× the naive pairwise session's simulated throughput,
+//! and must ship at least 3× fewer bytes than full-path framing.
+//!
 //! `--slo <fresh_slo.json> [baseline_slo.json]` gates E18's
 //! `BENCH_slo.json` instead: every objective must hold with the
 //! verdict re-derived from the recorded observations (p99 within
@@ -196,6 +201,7 @@ fn main() {
     failed += check_scaling(&baseline, &fresh);
     failed += check_overload(&baseline, &fresh);
     failed += check_subs(&fresh);
+    failed += check_sync(&fresh);
     if failed > 0 {
         eprintln!("bench_compare: {failed}/{compared} rows regressed past the {:.0}% floor", FLOOR * 100.0);
         std::process::exit(1);
@@ -299,6 +305,60 @@ fn check_subs(fresh: &[BenchRow]) -> usize {
             f.scale,
             f.mean_candidates,
             if ok { "ok" } else { "REGRESSION (delivery no longer coalesces)" }
+        );
+    }
+    failed
+}
+
+/// Simulated delta-vs-naive sync-session speedup floor for E22 `sync`
+/// rows at or above `SYNC_GATE_SCALE` edits; mirrors `SPEEDUP_FLOOR`
+/// in the experiment itself.
+const SYNC_SPEEDUP_FLOOR: f64 = 5.0;
+/// Floor on the naive/delta bytes-on-the-wire ratio (`mean_candidates`
+/// carries it) for the same rows; mirrors `BYTES_RATIO_FLOOR`.
+const SYNC_BYTES_RATIO_FLOOR: f64 = 3.0;
+/// Smallest storm the absolute sync floors apply to — tiny storms have
+/// too little history for the pairwise scan to go quadratic, so only
+/// the relative per-row gate covers them.
+const SYNC_GATE_SCALE: u64 = 10_000;
+
+/// The E22 sync gate, on top of the per-row throughput floor. Both
+/// checks are absolute and mirror the experiment's in-run acceptance
+/// asserts, so the quick CI sweep gates them at its own sizes:
+///
+/// 1. every `sync` row at or above `SYNC_GATE_SCALE` edits must keep
+///    the delta session at or above `SYNC_SPEEDUP_FLOOR`× the naive
+///    pairwise session's simulated throughput;
+/// 2. the same rows must ship at least `SYNC_BYTES_RATIO_FLOOR`× fewer
+///    bytes than the naive full-path framing — the dictionary codec
+///    quietly turned off would push this toward 1.0 and trip here.
+///
+/// Returns the number of failures (0 when the fresh file carries no
+/// `sync` rows).
+fn check_sync(fresh: &[BenchRow]) -> usize {
+    let mut failed = 0;
+    for f in fresh.iter().filter(|f| {
+        f.kind == "sync" && f.scale >= SYNC_GATE_SCALE && f.naive_sim_ops > 0.0
+    }) {
+        let speedup = f.indexed_sim_ops / f.naive_sim_ops;
+        let ok = speedup >= SYNC_SPEEDUP_FLOOR;
+        if !ok {
+            failed += 1;
+        }
+        println!(
+            "sync speedup @ {:>7} edits: {speedup:.1}x (floor {SYNC_SPEEDUP_FLOOR:.0}x)  {}",
+            f.scale,
+            if ok { "ok" } else { "REGRESSION (delta session speedup under the floor)" }
+        );
+        let bytes_ok = f.mean_candidates >= SYNC_BYTES_RATIO_FLOOR;
+        if !bytes_ok {
+            failed += 1;
+        }
+        println!(
+            "sync bytes ratio @ {:>7} edits: {:.1}x (floor {SYNC_BYTES_RATIO_FLOOR:.0}x)  {}",
+            f.scale,
+            f.mean_candidates,
+            if bytes_ok { "ok" } else { "REGRESSION (delta encoding no longer shrinks sessions)" }
         );
     }
     failed

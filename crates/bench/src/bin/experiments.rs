@@ -19,7 +19,7 @@ use gupster_telemetry::ObsSnapshot;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--trace-out <path>] <e1..e21 | all>...\n\
+        "usage: experiments [--trace-out <path>] <e1..e22 | all>...\n\
          \x20      experiments dashboard <snapshot.json>"
     );
     std::process::exit(2);
@@ -67,7 +67,7 @@ fn main() {
     }
     for a in &picks {
         if !experiments::run(a) {
-            eprintln!("unknown experiment '{a}' (expected e1..e21 or all)");
+            eprintln!("unknown experiment '{a}' (expected e1..e22 or all)");
             std::process::exit(2);
         }
     }

@@ -1,0 +1,304 @@
+//! E22 — write path at scale: compacted changelogs, delta-encoded sync
+//! sessions, write-through invalidation (DESIGN.md §13).
+//!
+//! A fleet of users each owns an N-replica star (hub + device replicas
+//! of one address-book component). A seeded **write storm** lands edits
+//! across the fleet, then a [`SyncPlane`] reconciles every star — once
+//! through the naive pairwise path (`use_oracle = true`, the measured
+//! baseline *and* the correctness oracle) and once through the delta
+//! path (touched-path trie conflict pruning, dictionary-coded op
+//! batches, post-sync log compaction). Both planes see the identical
+//! storm; their converged hub documents are asserted **byte-identical**
+//! before any number is reported.
+//!
+//! Simulated cost is the §13 model, read off each plane's `sync.plane`
+//! root spans: reconcile charges 2µs per op pair examined (the naive
+//! path examines every new-A × new-B pair; the delta path only the
+//! trie's candidate set), shipping charges per byte (the naive session
+//! frames every op with its full path string; the delta session ships
+//! an 8-byte header plus a once-per-session dictionary entry), and
+//! apply/slow-sync costs are common to both. The acceptance bars — ≥5×
+//! simulated session throughput and ≥3× fewer bytes at the 10k-edit
+//! storm and above — are asserted in-run and re-gated by
+//! `bench_compare`'s `check_sync` against the checked-in
+//! `BENCH_sync.json`.
+//!
+//! The compaction column shows the other half of the story: after the
+//! delta pass every replica's changelog truncates behind its live peer
+//! anchors (the star makes anchors exact), while the naive plane
+//! retains the full edit history forever.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gupster_core::{PlaneReport, SyncPlane};
+use gupster_rng::Rng;
+use gupster_sync::ReconcilePolicy;
+use gupster_telemetry::TelemetryHub;
+use gupster_xml::{EditOp, Element, MergeKeys, NodePath};
+
+use crate::benchjson::{render_named, BenchRow};
+use crate::table::{bytes as fmt_bytes, f2, print_table};
+use crate::workload::rng;
+
+/// Swept storm shapes: (total edits, device replicas per user, users).
+/// Users grow slower than edits so per-star history deepens with scale
+/// — that is where the naive pairwise scan goes quadratic.
+const SCALES_FULL: [(usize, usize, usize); 3] =
+    [(1_000, 2, 4), (10_000, 4, 8), (100_000, 8, 64)];
+const SCALES_QUICK: [(usize, usize, usize); 2] = [(1_000, 2, 4), (10_000, 4, 8)];
+/// Shard partitions of the plane (outcomes are shard-count invariant).
+const SHARDS: usize = 4;
+/// Items in each user's baseline address book. Each replica (hub
+/// included) owns a [`SLICE`]-item band it re-edits over and over —
+/// the presence-update shape: every op relays to every other replica,
+/// and a session's paths repeat enough for the dictionary codec to
+/// amortize. Edits land in the replica's own band except for the
+/// [`SHARED_BASE`].. tail, a hot set all replicas fight over, so the
+/// conflict machinery is genuinely exercised too.
+const BOOK_ITEMS: usize = 40;
+/// Items in each replica's private band.
+const SLICE: usize = 4;
+/// First index of the cross-replica hot set (`SHARED_BASE..BOOK_ITEMS`).
+const SHARED_BASE: usize = 36;
+/// One edit in this many targets the shared hot set.
+const SHARED_EVERY: usize = 10;
+/// One storm edit in this many inserts a fresh item at the book root.
+/// Root-parented inserts sit on the trie's root node — an ancestor of
+/// every probe — so they are deliberately rare, as profile-item
+/// creation is next to field edits.
+const INSERT_EVERY: usize = 128;
+/// Acceptance floors (mirrored by `check_sync` in `bench_compare`),
+/// enforced at `GATE_SCALE` edits and above.
+const SPEEDUP_FLOOR: f64 = 5.0;
+const BYTES_RATIO_FLOOR: f64 = 3.0;
+const GATE_SCALE: u64 = 10_000;
+
+fn quick_mode() -> bool {
+    std::env::var("GUPSTER_E22_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+fn keys() -> MergeKeys {
+    MergeKeys::new().with_key("item", "id")
+}
+
+fn base_book() -> Element {
+    let mut book = Element::new("address-book");
+    for i in 0..BOOK_ITEMS {
+        book.push_child(
+            Element::new("item")
+                .with_attr("id", format!("c{i:03}"))
+                .with_child(Element::new("name").with_text(format!("Contact {i}"))),
+        );
+    }
+    book
+}
+
+/// One storm edit: which user, which replica (`device == devices` means
+/// the hub — a portal-side write), and the op itself.
+type StormEdit = (usize, usize, EditOp);
+
+/// A seeded storm over the fleet: mostly `SetText`s in the editing
+/// replica's own item band (repeated field updates, all of which must
+/// relay fleet-wide), a slice on the shared hot set (two replicas
+/// renaming the same contact is the canonical Req. 6 conflict), and
+/// rare fresh inserts. The same storm is replayed onto both planes, so
+/// naive and delta reconcile identical histories.
+fn storm(edits: usize, devices: usize, users: usize, seed: u64) -> Vec<StormEdit> {
+    assert!((devices + 1) * SLICE <= SHARED_BASE, "replica bands must fit the book");
+    let mut r = rng(seed);
+    (0..edits)
+        .map(|i| {
+            let user = r.gen_range(0..users as u32) as usize;
+            let replica = r.gen_range(0..devices as u32 + 1) as usize; // == devices → hub
+            let op = if i % INSERT_EVERY == INSERT_EVERY - 1 {
+                EditOp::Insert {
+                    parent: NodePath::root(),
+                    element: Element::new("item").with_attr("id", format!("n{i:06}")),
+                }
+            } else {
+                let off = r.gen_range(0..SLICE as u32) as usize;
+                let item = if i % SHARED_EVERY == SHARED_EVERY - 1 {
+                    SHARED_BASE + off
+                } else {
+                    replica * SLICE + off
+                };
+                EditOp::SetText {
+                    path: NodePath::root().keyed("item", "id", format!("c{item:03}")).child("name", 0),
+                    text: format!("s{}", r.gen_range(0..97u32)),
+                }
+            };
+            (user, replica, op)
+        })
+        .collect()
+}
+
+struct PlaneRun {
+    report: PlaneReport,
+    /// Total simulated µs across every user's `sync.plane` root span.
+    sim_us: u64,
+    wall: Duration,
+    /// Changelog entries retained across the whole fleet after the pass.
+    log_entries: usize,
+    /// Converged hub documents, one per user in owner order.
+    hub_docs: Vec<Element>,
+}
+
+fn run_plane(devices: usize, users: usize, storm: &[StormEdit], oracle: bool) -> PlaneRun {
+    let hub = Arc::new(TelemetryHub::new());
+    hub.set_span_limit(0); // histograms only — 100k-edit storms
+    let mut plane = SyncPlane::new(SHARDS, ReconcilePolicy::LastWriterWins);
+    plane.use_oracle = oracle;
+    for u in 0..users {
+        plane.add_user(&format!("user{u:03}"), base_book(), keys(), devices);
+    }
+    for (user, replica, op) in storm {
+        let owner = format!("user{user:03}");
+        if *replica == devices {
+            plane.edit_hub(&owner, op.clone()).expect("storm edits apply");
+        } else {
+            plane.edit_device(&owner, *replica, op.clone()).expect("storm edits apply");
+        }
+    }
+    let t0 = Instant::now();
+    let report = plane.reconcile(&hub);
+    let wall = t0.elapsed();
+    let stats = hub.stage_stats("sync.plane").expect("plane spans recorded");
+    let sim_us = stats.mean.0 * stats.count;
+    let hub_docs = (0..users).map(|u| plane.hub_doc(&format!("user{u:03}")).clone()).collect();
+    PlaneRun { report, sim_us, wall, log_entries: plane.log_entries(), hub_docs }
+}
+
+/// Runs one storm shape through both planes, asserts the delta path
+/// against the oracle, and reports the row.
+fn run_config(edits: usize, devices: usize, users: usize, rows_out: &mut Vec<BenchRow>) -> Vec<String> {
+    let storm = storm(edits, devices, users, 2200 + edits as u64);
+    let naive = run_plane(devices, users, &storm, true);
+    let delta = run_plane(devices, users, &storm, false);
+
+    // Correctness before any number: both planes fully converge, and
+    // the converged documents are byte-identical replica for replica
+    // (every device equals its hub — that is what `converged` asserts —
+    // so hub equality pins the whole fleet).
+    assert_eq!(naive.report.converged_users, users, "oracle plane must converge");
+    assert_eq!(delta.report.converged_users, users, "delta plane must converge");
+    assert_eq!(
+        delta.hub_docs, naive.hub_docs,
+        "delta-converged documents must be byte-identical to the oracle's at {edits} edits"
+    );
+    assert_eq!(delta.report.conflicts, naive.report.conflicts);
+    assert_eq!(delta.report.shipped, naive.report.shipped);
+
+    let naive_sim_ops = 1e6 * edits as f64 / naive.sim_us.max(1) as f64;
+    let delta_sim_ops = 1e6 * edits as f64 / delta.sim_us.max(1) as f64;
+    let speedup = delta_sim_ops / naive_sim_ops;
+    let bytes_ratio =
+        naive.report.bytes_exchanged as f64 / delta.report.bytes_exchanged.max(1) as f64;
+    if edits as u64 >= GATE_SCALE {
+        assert!(
+            speedup >= SPEEDUP_FLOOR,
+            "acceptance: ≥{SPEEDUP_FLOOR}× simulated sync throughput at {edits} edits, got {speedup:.1}×"
+        );
+        assert!(
+            bytes_ratio >= BYTES_RATIO_FLOOR,
+            "acceptance: ≥{BYTES_RATIO_FLOOR}× fewer bytes at {edits} edits, got {bytes_ratio:.1}×"
+        );
+    }
+
+    rows_out.push(BenchRow {
+        kind: "sync".to_string(),
+        scale: edits as u64,
+        naive_sim_ops,
+        indexed_sim_ops: delta_sim_ops,
+        naive_wall_ops: edits as f64 / naive.wall.as_secs_f64().max(1e-9),
+        indexed_wall_ops: edits as f64 / delta.wall.as_secs_f64().max(1e-9),
+        mean_candidates: bytes_ratio,
+    });
+    vec![
+        format!("{edits}"),
+        format!("{users}x{devices}"),
+        format!("{naive_sim_ops:.0}"),
+        format!("{delta_sim_ops:.0}"),
+        format!("{speedup:.1}x"),
+        fmt_bytes(naive.report.bytes_exchanged),
+        fmt_bytes(delta.report.bytes_exchanged),
+        f2(bytes_ratio),
+        format!("{}", delta.report.compacted),
+        format!("{}/{}", delta.log_entries, naive.log_entries),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run() {
+    let quick = quick_mode();
+    let mode = if quick { "quick" } else { "full" };
+    println!("\nE22 — write path at scale ({mode} sweep)");
+    let scales: &[(usize, usize, usize)] = if quick { &SCALES_QUICK } else { &SCALES_FULL };
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut table = Vec::new();
+    for &(edits, devices, users) in scales {
+        table.push(run_config(edits, devices, users, &mut rows));
+    }
+    print_table(
+        &format!(
+            "E22 — naive vs delta reconciliation over {SHARDS}-shard replica fleets \
+             (LWW, {BOOK_ITEMS}-item books, docs oracle-checked)"
+        ),
+        &[
+            "edits",
+            "fleet",
+            "naive sim edits/s",
+            "delta sim edits/s",
+            "speedup",
+            "naive bytes",
+            "delta bytes",
+            "ratio",
+            "compacted",
+            "log after (d/n)",
+        ],
+        &table,
+    );
+    println!(
+        "  paper check: Req. 6/7 sync at fleet scale — the delta session compares only \
+         trie-matched op pairs and ships dictionary-coded batches, and compaction caps \
+         every changelog at its live peer anchors; the naive plane re-pays the full \
+         pairwise scan and full-path framing on every session."
+    );
+
+    let out = std::env::var("GUPSTER_BENCH_OUT").unwrap_or_else(|_| "BENCH_sync.json".into());
+    match std::fs::write(&out, render_named("e22_sync_storm", mode, &rows)) {
+        Ok(()) => println!("\n  wrote {} rows to {out}", rows.len()),
+        Err(e) => eprintln!("  cannot write {out}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_storm_matches_oracle_and_prunes() {
+        let storm = storm(400, 3, 4, 7);
+        let naive = run_plane(3, 4, &storm, true);
+        let delta = run_plane(3, 4, &storm, false);
+        assert_eq!(delta.hub_docs, naive.hub_docs);
+        assert_eq!(delta.report.converged_users, 4);
+        assert_eq!(delta.report.conflicts, naive.report.conflicts);
+        assert!(delta.report.compared <= naive.report.compared);
+        assert!(delta.report.bytes_exchanged < naive.report.bytes_exchanged);
+        assert!(delta.sim_us < naive.sim_us);
+        // Compaction ran on the delta plane only.
+        assert!(delta.log_entries < naive.log_entries);
+    }
+
+    #[test]
+    fn storms_are_deterministic() {
+        let a = storm(64, 2, 3, 11);
+        let b = storm(64, 2, 3, 11);
+        assert_eq!(a.len(), b.len());
+        for ((ua, ra, oa), (ub, rb, ob)) in a.iter().zip(&b) {
+            assert_eq!((ua, ra), (ub, rb));
+            assert_eq!(format!("{oa:?}"), format!("{ob:?}"));
+        }
+    }
+}

@@ -28,6 +28,7 @@ pub mod e18_observability;
 pub mod e19_xml_hotpath;
 pub mod e20_overload;
 pub mod e21_fanout;
+pub mod e22_sync_storm;
 
 static TRACE_OUT: OnceLock<PathBuf> = OnceLock::new();
 /// Request-id offset for the next dumped hub, so traces from several
@@ -65,7 +66,7 @@ pub fn dump_traces(hub: &TelemetryHub) {
     }
 }
 
-/// Runs one experiment by id (`e1`…`e21`), or `all`.
+/// Runs one experiment by id (`e1`…`e22`), or `all`.
 pub fn run(which: &str) -> bool {
     match which {
         "e1" => e01_placement::run(),
@@ -89,8 +90,9 @@ pub fn run(which: &str) -> bool {
         "e19" => e19_xml_hotpath::run(),
         "e20" => e20_overload::run(),
         "e21" => e21_fanout::run(),
+        "e22" => e22_sync_storm::run(),
         "all" => {
-            for i in 1..=21 {
+            for i in 1..=22 {
                 run(&format!("e{i}"));
             }
         }

@@ -93,10 +93,18 @@ impl ResultCache {
     /// Invalidates every entry of `user` overlapping `changed`. Returns
     /// how many entries were dropped.
     pub fn invalidate(&mut self, user: &str, changed: &Path) -> usize {
+        self.invalidate_matching(&|u| u == user, changed)
+    }
+
+    /// Invalidates every entry whose user key satisfies `pred` and
+    /// whose path overlaps `changed` — write-through invalidation for
+    /// callers whose keys scope one owner to many requesters
+    /// (`owner\0requester`). Returns how many entries were dropped.
+    pub fn invalidate_matching(&mut self, pred: &dyn Fn(&str) -> bool, changed: &Path) -> usize {
         let victims: Vec<_> = self
             .entries
             .iter()
-            .filter(|((u, _), e)| u == user && may_overlap(&e.path, changed))
+            .filter(|((u, _), e)| pred(u) && may_overlap(&e.path, changed))
             .map(|(k, _)| k.clone())
             .collect();
         for v in &victims {
@@ -229,6 +237,19 @@ impl CachedClient {
             for u in owners {
                 dropped += self.cache.invalidate(&u, &event.path);
             }
+        }
+        dropped
+    }
+
+    /// Write-through invalidation (DESIGN.md §13): a committed sync
+    /// changed `owner`'s profile at `changed` paths — drop every
+    /// requester's cached view of them so no post-sync fetch serves a
+    /// pre-write result. Returns the number of entries dropped.
+    pub fn note_write(&mut self, owner: &str, changed: &[Path]) -> usize {
+        let prefix = format!("{owner}\u{0}");
+        let mut dropped = 0;
+        for path in changed {
+            dropped += self.cache.invalidate_matching(&|u| u.starts_with(&prefix), path);
         }
         dropped
     }

@@ -23,7 +23,11 @@
 //!   the referral → chaining → recruiting → stale-cache degradation
 //!   ladder (Req. 12 availability);
 //! * [`mdm`] — centralized vs. user-distributed (white pages, listed or
-//!   unlisted) vs. hierarchical meta-data management (§5.1.2).
+//!   unlisted) vs. hierarchical meta-data management (§5.1.2);
+//! * [`syncplane`] — the fleet write path (DESIGN.md §13):
+//!   owner-sharded N-replica reconciliation over `gupster-sync`'s delta
+//!   sessions, with write-through invalidation of the decision memo,
+//!   token cache, result/stale caches and the push-fanout plane.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -44,6 +48,7 @@ pub mod resilience;
 mod sha256;
 pub mod shard;
 pub mod subs;
+pub mod syncplane;
 mod token;
 
 pub use admission::{
@@ -66,4 +71,5 @@ pub use sha256::{hmac_sha256, sha256_hex};
 pub use subs::{
     DeliveryBatch, MatchOutcome, Notification, ShardedFanout, SubscriptionManager, WindowOutcome,
 };
+pub use syncplane::{write_through, PlaneReport, SyncPlane, UserOutcome};
 pub use token::{SignedQuery, Signer, TokenError};

@@ -98,6 +98,10 @@ pub struct Gupster {
     /// while it is inside the first half of its freshness window,
     /// skipping the HMAC pass. `None` = disabled (the default).
     token_cache: Option<HashMap<TokenCacheKey, SignedQuery>>,
+    /// Per-owner write generations (DESIGN.md §13): bumped by every
+    /// committed sync touching the owner's profile, alongside dropping
+    /// the owner's derived registry state (memo, token cache).
+    write_gens: HashMap<String, u64>,
 }
 
 /// Token-cache key: (owner, requester, rewritten path set).
@@ -118,6 +122,7 @@ impl Gupster {
             telemetry: Arc::new(TelemetryHub::new()),
             memo: DecisionMemo::new(4096),
             token_cache: None,
+            write_gens: HashMap::new(),
         }
     }
 
@@ -145,6 +150,36 @@ impl Gupster {
     /// Decision-memo occupancy and counters, for experiment reports.
     pub fn memo_stats(&self) -> (usize, u64, u64) {
         (self.memo.len(), self.memo.hits, self.memo.misses)
+    }
+
+    /// Write-through invalidation (DESIGN.md §13): a committed sync
+    /// changed `owner`'s profile at `changed` paths. Bumps the owner's
+    /// write generation and drops the derived registry state that could
+    /// now be stale — the owner's memoized PDP decisions and cached
+    /// referral tokens. Returns the number of entries dropped (also
+    /// added to the fleet `invalidations` counter). Result and stale
+    /// caches live client-side; route the same write to
+    /// [`crate::cache::CachedClient::note_write`] and
+    /// [`crate::ResilientExecutor::note_write`].
+    pub fn note_write(&mut self, owner: &str, changed: &[Path]) -> usize {
+        if changed.is_empty() {
+            return 0;
+        }
+        *self.write_gens.entry(owner.to_string()).or_insert(0) += 1;
+        let mut dropped = self.memo.invalidate_owner(owner);
+        if let Some(cache) = &mut self.token_cache {
+            let before = cache.len();
+            cache.retain(|(o, _, _), _| o != owner);
+            dropped += before - cache.len();
+        }
+        self.telemetry.counters().invalidations.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// The owner's write generation: 0 until the first committed sync,
+    /// bumped once per [`Gupster::note_write`].
+    pub fn write_generation(&self, owner: &str) -> u64 {
+        self.write_gens.get(owner).copied().unwrap_or(0)
     }
 
     /// A clone of the signer — data stores hold this to verify tokens.

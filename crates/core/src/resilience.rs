@@ -172,6 +172,20 @@ impl<'a> ResilientExecutor<'a> {
         &self.stale
     }
 
+    /// Write-through invalidation (DESIGN.md §13): a committed sync
+    /// changed `owner`'s profile at `changed` paths, so a later outage
+    /// must not degrade to the pre-write answer — every requester's
+    /// stale copy of an overlapping path is dropped. Returns the number
+    /// of entries dropped.
+    pub fn note_write(&mut self, owner: &str, changed: &[Path]) -> usize {
+        let prefix = format!("{owner}\u{0}");
+        let mut dropped = 0;
+        for path in changed {
+            dropped += self.stale.invalidate_matching(&|u| u.starts_with(&prefix), path);
+        }
+        dropped
+    }
+
     fn stale_key(owner: &str, requester: &str) -> String {
         // Keyed per (owner, requester) pair, like [`crate::cache::CachedClient`]:
         // a stale serve replays only an answer this requester was

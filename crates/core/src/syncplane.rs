@@ -1,0 +1,497 @@
+//! The sync plane: fleet-scale replica reconciliation with
+//! write-through invalidation (DESIGN.md §13).
+//!
+//! Each user's profile component lives as an N-replica star: a **hub**
+//! replica (the primary copy, Req. 4) plus device replicas that only
+//! ever sync against the hub. The plane partitions users across
+//! owner-hashed shards (the same stable `shard_hash` as
+//! [`crate::ShardedRegistry`] and [`crate::ShardedFanout`]) and runs
+//! each shard's reconciliation on its own scoped thread — users are
+//! disjoint across shards, so the outcome stream is **invariant at any
+//! shard count**: per-user outcomes are deterministic and the plane
+//! re-sorts them by owner before anything downstream observes them.
+//!
+//! Reconciliation itself is the delta fast path of `gupster-sync`
+//! ([`gupster_sync::delta_two_way_sync_traced`]): two hub-centred
+//! rounds relay every device's edits to every other device, then each
+//! replica's change log is **compacted** against its live peer anchors.
+//! [`SyncPlane::use_oracle`] switches the same plane onto the naive
+//! [`gupster_sync::two_way_sync_traced`] path — the experiment baseline
+//! and the differential-test oracle.
+//!
+//! A committed reconcile is a profile **write**, and the registry holds
+//! derived state that must not survive one: memoized PDP decisions,
+//! cached referral tokens, stale-serve result caches. [`write_through`]
+//! bumps the owner's write generation ([`Gupster::note_write`]), drops
+//! the derived entries, and turns the changed paths into
+//! [`ChangeEvent`]s for the push-fanout plane — post-sync reads never
+//! see pre-write cache entries (asserted by
+//! `tests/sync_differential.rs`).
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use gupster_store::ChangeEvent;
+use gupster_sync::{
+    compact_traced, delta_two_way_sync_traced, two_way_sync_traced, ReconcilePolicy, Replica,
+    SyncReport,
+};
+use gupster_telemetry::TelemetryHub;
+use gupster_xml::{EditOp, Element, MergeKeys, NodePath, XmlError};
+use gupster_xpath::Path;
+
+use crate::registry::Gupster;
+use crate::shard::shard_hash;
+
+/// One user's replica star: the hub (primary copy) plus device
+/// replicas.
+#[derive(Debug, Clone)]
+struct UserReplicas {
+    owner: String,
+    /// The component's root element name (e.g. `address-book`) —
+    /// prefixed under `/user[@id='…']/` when changed paths are
+    /// published registry-side.
+    component: String,
+    hub: Replica,
+    devices: Vec<Replica>,
+    /// Target paths of every edit accepted since the last reconcile,
+    /// in arrival order — drained into [`UserOutcome::changed`].
+    pending: Vec<NodePath>,
+}
+
+/// Per-user outcome of one reconcile pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UserOutcome {
+    /// The profile owner.
+    pub owner: String,
+    /// Sync sessions run (2 rounds × devices).
+    pub sessions: usize,
+    /// Bytes shipped across all of the user's sessions.
+    pub bytes_exchanged: usize,
+    /// Op pairs examined for conflicts.
+    pub compared: usize,
+    /// Conflicting pairs found.
+    pub conflicts: usize,
+    /// Conflicts the first (hub) side won.
+    pub first_wins: usize,
+    /// Ops shipped (both directions, all sessions).
+    pub shipped: usize,
+    /// Conflict pairs parked for the user under
+    /// [`ReconcilePolicy::Manual`].
+    pub queued: usize,
+    /// Sessions that fell back to a slow sync.
+    pub slow_syncs: usize,
+    /// Sessions that errored (component mismatch).
+    pub errors: usize,
+    /// Log entries removed by post-sync compaction (all replicas).
+    pub compacted: usize,
+    /// True when every device document equals the hub's after the pass.
+    pub converged: bool,
+    /// Registry-side paths touched since the last reconcile, first-
+    /// appearance order. Names-only (keys and indices dropped):
+    /// coarser than the edits, so invalidation over-approximates —
+    /// conservative and safe.
+    pub changed: Vec<Path>,
+}
+
+impl UserOutcome {
+    fn absorb(&mut self, r: &SyncReport) {
+        self.sessions += 1;
+        self.bytes_exchanged += r.bytes_exchanged;
+        self.compared += r.compared;
+        self.conflicts += r.conflicts;
+        self.first_wins += r.first_wins;
+        self.shipped += r.shipped_to_first + r.shipped_to_second;
+        self.queued += r.queued.len();
+        self.slow_syncs += r.slow_sync as usize;
+    }
+}
+
+/// Aggregate outcome of one [`SyncPlane::reconcile`] pass. `users` is
+/// sorted by owner, so the report — and everything fed from it — is
+/// identical at any shard count.
+#[derive(Debug, Clone, Default)]
+pub struct PlaneReport {
+    /// Per-user outcomes, sorted by owner.
+    pub users: Vec<UserOutcome>,
+    /// Total sync sessions run.
+    pub sessions: usize,
+    /// Total bytes shipped.
+    pub bytes_exchanged: usize,
+    /// Total op pairs examined.
+    pub compared: usize,
+    /// Total conflicts found.
+    pub conflicts: usize,
+    /// Total sessions that went slow.
+    pub slow_syncs: usize,
+    /// Total ops shipped.
+    pub shipped: usize,
+    /// Total log entries removed by compaction.
+    pub compacted: usize,
+    /// Users whose replicas all converged.
+    pub converged_users: usize,
+}
+
+impl PlaneReport {
+    fn from_users(users: Vec<UserOutcome>) -> Self {
+        let mut report = PlaneReport::default();
+        for u in &users {
+            report.sessions += u.sessions;
+            report.bytes_exchanged += u.bytes_exchanged;
+            report.compared += u.compared;
+            report.conflicts += u.conflicts;
+            report.slow_syncs += u.slow_syncs;
+            report.shipped += u.shipped;
+            report.compacted += u.compacted;
+            report.converged_users += u.converged as usize;
+        }
+        report.users = users;
+        report
+    }
+}
+
+/// The sharded reconciliation plane over every user's replica star.
+#[derive(Debug)]
+pub struct SyncPlane {
+    shards: usize,
+    users: BTreeMap<String, UserReplicas>,
+    /// Conflict policy applied in every session.
+    pub policy: ReconcilePolicy,
+    /// When true, sessions run through the naive
+    /// [`gupster_sync::two_way_sync_traced`] oracle (pairwise conflict
+    /// scan, owned-path framing, no compaction) — the measured baseline
+    /// for the delta path.
+    pub use_oracle: bool,
+}
+
+impl SyncPlane {
+    /// A plane over `shards` partitions (≥ 1).
+    pub fn new(shards: usize, policy: ReconcilePolicy) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        SyncPlane { shards, users: BTreeMap::new(), policy, use_oracle: false }
+    }
+
+    /// Number of shard partitions.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of users with replica stars.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Registers a user's component: a hub replica seeded with `doc`
+    /// plus `device_count` device replicas holding the same baseline.
+    pub fn add_user(&mut self, owner: &str, doc: Element, keys: MergeKeys, device_count: usize) {
+        let component = doc.name.clone();
+        let hub = Replica::new(&format!("{owner}#hub"), doc.clone(), keys.clone());
+        let devices = (0..device_count)
+            .map(|i| Replica::new(&format!("{owner}#dev{i}"), doc.clone(), keys.clone()))
+            .collect();
+        self.users.insert(
+            owner.to_string(),
+            UserReplicas { owner: owner.to_string(), component, hub, devices, pending: Vec::new() },
+        );
+    }
+
+    /// Applies a local edit on one of the user's device replicas.
+    pub fn edit_device(
+        &mut self,
+        owner: &str,
+        device: usize,
+        op: EditOp,
+    ) -> Result<u64, XmlError> {
+        let u = self.users.get_mut(owner).unwrap_or_else(|| panic!("unknown user {owner}"));
+        let target = op.target().clone();
+        let seq = u.devices[device].edit(op)?;
+        u.pending.push(target);
+        Ok(seq)
+    }
+
+    /// Applies a local edit on the user's hub replica (a portal-side
+    /// write).
+    pub fn edit_hub(&mut self, owner: &str, op: EditOp) -> Result<u64, XmlError> {
+        let u = self.users.get_mut(owner).unwrap_or_else(|| panic!("unknown user {owner}"));
+        let target = op.target().clone();
+        let seq = u.hub.edit(op)?;
+        u.pending.push(target);
+        Ok(seq)
+    }
+
+    /// The hub document of a user (for assertions and reads).
+    pub fn hub_doc(&self, owner: &str) -> &Element {
+        &self.users[owner].hub.doc
+    }
+
+    /// A device document of a user.
+    pub fn device_doc(&self, owner: &str, device: usize) -> &Element {
+        &self.users[owner].devices[device].doc
+    }
+
+    /// Total retained change-log entries across every replica —
+    /// compaction's effect is visible here.
+    pub fn log_entries(&self) -> usize {
+        self.users
+            .values()
+            .map(|u| u.hub.log.len() + u.devices.iter().map(|d| d.log.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Runs one reconcile pass: every shard's users in parallel, two
+    /// hub-centred rounds each, then per-replica log compaction (delta
+    /// mode only). The returned report is sorted by owner and is
+    /// byte-identical at any shard count.
+    pub fn reconcile(&mut self, telemetry: &Arc<TelemetryHub>) -> PlaneReport {
+        let shards = self.shards;
+        let policy = self.policy;
+        let oracle = self.use_oracle;
+        let mut buckets: Vec<Vec<&mut UserReplicas>> = (0..shards).map(|_| Vec::new()).collect();
+        for u in self.users.values_mut() {
+            let s = (shard_hash(&u.owner) % shards as u64) as usize;
+            buckets[s].push(u);
+        }
+        let per_shard: Vec<Vec<UserOutcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        bucket
+                            .into_iter()
+                            .map(|u| reconcile_user(u, policy, oracle, telemetry))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sync shard worker panicked")).collect()
+        });
+        let mut users: Vec<UserOutcome> = per_shard.into_iter().flatten().collect();
+        users.sort_by(|a, b| a.owner.cmp(&b.owner));
+        PlaneReport::from_users(users)
+    }
+}
+
+/// Reconciles one user's star: two rounds of hub↔device sessions (the
+/// hub is the *first* replica, so [`ReconcilePolicy::PreferFirst`]
+/// means "the primary copy wins"), then log compaction against live
+/// anchors.
+fn reconcile_user(
+    u: &mut UserReplicas,
+    policy: ReconcilePolicy,
+    oracle: bool,
+    telemetry: &Arc<TelemetryHub>,
+) -> UserOutcome {
+    let mut tracer = telemetry.tracer("sync.plane");
+    let mut outcome = UserOutcome { owner: u.owner.clone(), ..Default::default() };
+    for _round in 0..2 {
+        for d in &mut u.devices {
+            let result = if oracle {
+                two_way_sync_traced(&mut u.hub, d, policy, &mut tracer)
+            } else {
+                delta_two_way_sync_traced(&mut u.hub, d, policy, &mut tracer)
+            };
+            match result {
+                Ok(r) => outcome.absorb(&r),
+                Err(_) => outcome.errors += 1,
+            }
+        }
+    }
+    outcome.converged = u.devices.iter().all(|d| d.doc == u.hub.doc);
+    if !oracle {
+        // The star topology makes compaction anchors exact: devices
+        // sync only against the hub, so the hub's live anchors are
+        // every device's last-seen, and each device's sole anchor is
+        // the hub's last-seen of it.
+        let hub_anchors: Vec<u64> =
+            u.devices.iter().map(|d| d.anchors.last_seen(&u.hub.id)).collect();
+        if !hub_anchors.is_empty() {
+            outcome.compacted += compact_traced(&mut u.hub, &hub_anchors, &mut tracer).dropped();
+        }
+        for d in &mut u.devices {
+            let anchor = u.hub.anchors.last_seen(&d.id);
+            outcome.compacted += compact_traced(d, &[anchor], &mut tracer).dropped();
+        }
+    }
+    let mut seen: HashSet<String> = HashSet::new();
+    for p in u.pending.drain(..) {
+        let registry = registry_path(&u.owner, &u.component, &p);
+        if seen.insert(registry.to_string()) {
+            outcome.changed.push(registry);
+        }
+    }
+    outcome
+}
+
+/// Converts a component-local [`NodePath`] into the registry-side
+/// [`Path`] `/user[@id='owner']/component/...`, keeping element names
+/// only — keys and indices are dropped, so the published path covers at
+/// least everything the edit touched.
+fn registry_path(owner: &str, component: &str, p: &NodePath) -> Path {
+    let mut s = format!("/user[@id='{owner}']/{component}");
+    for step in &p.steps {
+        s.push('/');
+        s.push_str(&step.name);
+    }
+    Path::parse(&s).unwrap_or_else(|e| panic!("constructed path {s:?} must parse: {e:?}"))
+}
+
+/// Commits a reconcile pass against the registry: every touched owner's
+/// write generation is bumped and their derived registry state (PDP
+/// memo, referral-token cache) dropped via [`Gupster::note_write`], and
+/// the changed paths come back as [`ChangeEvent`]s — feed them to
+/// [`crate::ShardedFanout::stage_events`] (push subscribers) and to
+/// [`crate::cache::CachedClient::note_write`] /
+/// [`crate::ResilientExecutor::note_write`] (result + stale caches).
+pub fn write_through(gupster: &mut Gupster, report: &PlaneReport) -> Vec<ChangeEvent> {
+    let mut events = Vec::new();
+    for u in &report.users {
+        if u.changed.is_empty() {
+            continue;
+        }
+        gupster.note_write(&u.owner, &u.changed);
+        let generation = gupster.write_generation(&u.owner);
+        for path in &u.changed {
+            events.push(ChangeEvent {
+                user: u.owner.clone(),
+                path: path.clone(),
+                generation,
+            });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gupster_xml::parse;
+
+    fn keys() -> MergeKeys {
+        MergeKeys::new().with_key("item", "id")
+    }
+
+    fn base() -> Element {
+        parse(r#"<address-book><item id="1"><name>Mom</name></item></address-book>"#).unwrap()
+    }
+
+    fn set_name(v: &str) -> EditOp {
+        EditOp::SetText {
+            path: NodePath::root().keyed("item", "id", "1").child("name", 0),
+            text: v.into(),
+        }
+    }
+
+    fn insert_item(id: &str) -> EditOp {
+        EditOp::Insert {
+            parent: NodePath::root(),
+            element: Element::new("item").with_attr("id", id),
+        }
+    }
+
+    fn plane(shards: usize, users: usize, devices: usize) -> SyncPlane {
+        let mut plane = SyncPlane::new(shards, ReconcilePolicy::LastWriterWins);
+        for i in 0..users {
+            plane.add_user(&format!("user{i}"), base(), keys(), devices);
+        }
+        plane
+    }
+
+    #[test]
+    fn star_converges_all_devices() {
+        let hub = Arc::new(TelemetryHub::new());
+        let mut plane = plane(2, 3, 3);
+        plane.edit_device("user0", 0, set_name("A")).unwrap();
+        plane.edit_device("user0", 1, insert_item("7")).unwrap();
+        plane.edit_device("user1", 2, set_name("B")).unwrap();
+        plane.edit_hub("user2", insert_item("9")).unwrap();
+        let report = plane.reconcile(&hub);
+        assert_eq!(report.converged_users, 3);
+        for owner in ["user0", "user1", "user2"] {
+            for d in 0..3 {
+                assert_eq!(plane.device_doc(owner, d), plane.hub_doc(owner), "{owner} dev{d}");
+            }
+        }
+        // user0's two edits reached the hub and every device.
+        assert!(plane.hub_doc("user0").children.len() == 2);
+        assert_eq!(report.users.len(), 3);
+        assert_eq!(report.users[0].changed.len(), 2);
+    }
+
+    #[test]
+    fn outcome_stream_is_shard_count_invariant() {
+        let edits = |plane: &mut SyncPlane| {
+            for i in 0..6 {
+                let owner = format!("user{i}");
+                plane.edit_device(&owner, 0, set_name(&format!("v{i}"))).unwrap();
+                plane.edit_device(&owner, 1, insert_item(&format!("{i}"))).unwrap();
+            }
+        };
+        let mut reports = Vec::new();
+        for shards in [1, 2, 8] {
+            let hub = Arc::new(TelemetryHub::new());
+            let mut plane = plane(shards, 6, 2);
+            edits(&mut plane);
+            reports.push(plane.reconcile(&hub).users);
+        }
+        assert_eq!(reports[0], reports[1], "1 vs 2 shards");
+        assert_eq!(reports[0], reports[2], "1 vs 8 shards");
+    }
+
+    #[test]
+    fn compaction_shrinks_logs_after_convergence() {
+        let hub = Arc::new(TelemetryHub::new());
+        let mut plane = plane(1, 1, 2);
+        for i in 0..10 {
+            plane.edit_device("user0", 0, set_name(&format!("v{i}"))).unwrap();
+        }
+        let report = plane.reconcile(&hub);
+        assert_eq!(report.converged_users, 1);
+        assert!(report.compacted > 0, "acked and superseded entries must drop");
+        // After full convergence every anchor sits at the head, so the
+        // entire acked history truncates away.
+        assert_eq!(plane.log_entries(), 0);
+        // A later edit still syncs fast — compaction never broke the
+        // anchors of live peers.
+        plane.edit_device("user0", 1, set_name("final")).unwrap();
+        let report = plane.reconcile(&hub);
+        assert_eq!(report.converged_users, 1);
+        assert_eq!(report.slow_syncs, 0, "compaction must not force slow syncs");
+        assert_eq!(plane.hub_doc("user0").child("item").unwrap().child("name").unwrap().text(), "final");
+    }
+
+    #[test]
+    fn oracle_mode_matches_delta_outcomes() {
+        let run = |oracle: bool| {
+            let hub = Arc::new(TelemetryHub::new());
+            let mut plane = plane(2, 4, 2);
+            plane.use_oracle = oracle;
+            for i in 0..4 {
+                let owner = format!("user{i}");
+                plane.edit_device(&owner, 0, set_name("left")).unwrap();
+                plane.edit_device(&owner, 1, set_name("right")).unwrap();
+            }
+            let report = plane.reconcile(&hub);
+            let docs: Vec<Element> =
+                (0..4).map(|i| plane.hub_doc(&format!("user{i}")).clone()).collect();
+            (report, docs)
+        };
+        let (delta, delta_docs) = run(false);
+        let (naive, naive_docs) = run(true);
+        assert_eq!(delta_docs, naive_docs, "converged documents must be byte-identical");
+        assert_eq!(delta.conflicts, naive.conflicts);
+        assert_eq!(delta.converged_users, naive.converged_users);
+        assert_eq!(delta.shipped, naive.shipped);
+        assert!(delta.compared <= naive.compared);
+        assert!(delta.bytes_exchanged <= naive.bytes_exchanged);
+    }
+
+    #[test]
+    fn registry_paths_drop_keys_and_prefix_owner() {
+        let p = registry_path(
+            "alice",
+            "address-book",
+            &NodePath::root().keyed("item", "id", "3").child("name", 0),
+        );
+        assert_eq!(p.to_string(), "/user[@id='alice']/address-book/item/name");
+    }
+}

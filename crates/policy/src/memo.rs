@@ -124,6 +124,17 @@ impl DecisionMemo {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Drops every memoized decision about `owner`'s profile — the
+    /// write-through invalidation hook (DESIGN.md §13): a committed
+    /// profile write may change what the owner's rules evaluate to
+    /// (attribute-conditioned policies), so their decisions must be
+    /// recomputed. Returns how many entries were dropped.
+    pub fn invalidate_owner(&mut self, owner: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.owner != owner);
+        before - self.entries.len()
+    }
 }
 
 #[cfg(test)]

@@ -18,19 +18,34 @@
 //!   hub's sync counters advance,
 //! * **reconciliation policies** ([`ReconcilePolicy`]): site priority,
 //!   last-writer-wins, or a manual queue — "end-users should be able to
-//!   provision the policies used to reconcile profile data" (Req. 6).
+//!   provision the policies used to reconcile profile data" (Req. 6),
+//! * the **write path at scale** (DESIGN.md §13): interned actor ids and
+//!   paths ([`ActorId`], [`PathId`]), anchor-safe **changelog
+//!   compaction** ([`ChangeLog::compact`]), and **delta-encoded
+//!   sessions** ([`delta_two_way_sync`]) — a touched-path trie replaces
+//!   the pairwise conflict scan, dictionary encoding replaces
+//!   owned-path framing, and accepted ops replay through the arena.
+//!   [`two_way_sync`] is retained as the byte-identical differential
+//!   oracle.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod anchor;
 mod changelog;
+mod delta;
+mod intern;
 mod reconcile;
 mod replica;
 mod session;
 
 pub use anchor::Anchors;
-pub use changelog::{ChangeLog, LogEntry};
+pub use changelog::{ChangeLog, CompactStats, LogEntry};
+pub use delta::{
+    compact_traced, delta_two_way_sync, delta_two_way_sync_traced, naive_batch_bytes, DeltaCodec,
+    TouchedIndex,
+};
+pub use intern::{ActorId, PathId};
 pub use reconcile::ReconcilePolicy;
 pub use replica::Replica;
 pub use session::{two_way_sync, two_way_sync_traced, SyncError, SyncReport};

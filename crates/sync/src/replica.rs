@@ -6,6 +6,7 @@ use gupster_xml::{EditOp, Element, MergeKeys, XmlError};
 
 use crate::anchor::Anchors;
 use crate::changelog::ChangeLog;
+use crate::intern::ActorId;
 
 /// One replica: a site id, the component document, a change log, a
 /// Lamport clock and per-peer anchors.
@@ -18,6 +19,9 @@ use crate::changelog::ChangeLog;
 pub struct Replica {
     /// Site id, e.g. `phone` or `gup.yahoo.com`.
     pub id: String,
+    /// The site id interned once at construction — log appends and
+    /// dedup-set probes copy 4 bytes instead of cloning the string.
+    pub actor: ActorId,
     /// The component document.
     pub doc: Element,
     /// Edits made here since the last baseline.
@@ -31,7 +35,7 @@ pub struct Replica {
     /// Identities `(actor, timestamp)` of every edit incorporated here —
     /// the dedup set that lets a hub **relay** edits between devices
     /// without echoing them back to their originator.
-    pub seen: HashSet<(String, u64)>,
+    pub seen: HashSet<(ActorId, u64)>,
 }
 
 impl Replica {
@@ -39,6 +43,7 @@ impl Replica {
     pub fn new(id: &str, doc: Element, keys: MergeKeys) -> Self {
         Replica {
             id: id.to_string(),
+            actor: ActorId::intern(id),
             doc,
             log: ChangeLog::new(),
             anchors: Anchors::new(),
@@ -52,8 +57,8 @@ impl Replica {
     pub fn edit(&mut self, op: EditOp) -> Result<u64, XmlError> {
         op.apply(&mut self.doc)?;
         self.clock += 1;
-        self.seen.insert((self.id.clone(), self.clock));
-        Ok(self.log.append(op, &self.id.clone(), self.clock))
+        self.seen.insert((self.actor, self.clock));
+        Ok(self.log.append(op, self.actor, self.clock))
     }
 
     /// Applies a remote edit during sync: mutates the document,
@@ -64,20 +69,28 @@ impl Replica {
     pub(crate) fn apply_remote(
         &mut self,
         op: &EditOp,
-        actor: &str,
+        actor: ActorId,
         remote_ts: u64,
     ) -> Result<(), XmlError> {
         op.apply(&mut self.doc)?;
-        self.clock = self.clock.max(remote_ts) + 1;
-        self.seen.insert((actor.to_string(), remote_ts));
-        self.log.append(op.clone(), actor, remote_ts);
+        self.record_remote(op, actor, remote_ts);
         Ok(())
+    }
+
+    /// The bookkeeping half of [`Replica::apply_remote`] — log, dedup
+    /// set and clock — for callers that applied the op to a different
+    /// document representation (the delta path applies through the
+    /// arena and writes the owned tree back once per session).
+    pub(crate) fn record_remote(&mut self, op: &EditOp, actor: ActorId, remote_ts: u64) {
+        self.clock = self.clock.max(remote_ts) + 1;
+        self.seen.insert((actor, remote_ts));
+        self.log.append(op.clone(), actor, remote_ts);
     }
 
     /// Marks an op incorporated without applying it (the losing side of
     /// a resolved conflict): the peer must not re-ship it later.
-    pub(crate) fn mark_seen(&mut self, actor: &str, remote_ts: u64) {
-        self.seen.insert((actor.to_string(), remote_ts));
+    pub(crate) fn mark_seen(&mut self, actor: ActorId, remote_ts: u64) {
+        self.seen.insert((actor, remote_ts));
     }
 
     /// Establishes a new baseline after a slow sync: replaces the
@@ -87,6 +100,13 @@ impl Replica {
         self.log.clear();
         self.seen.clear();
         self.clock += 1;
+    }
+
+    /// Compacts this replica's change log against `anchors` (every live
+    /// peer's last-incorporated seq — see [`ChangeLog::compact`]).
+    pub fn compact_log(&mut self, anchors: &[u64]) -> crate::changelog::CompactStats {
+        let keys = self.keys.clone();
+        self.log.compact(anchors, &keys)
     }
 }
 
@@ -123,13 +143,14 @@ mod tests {
     fn remote_apply_advances_clock_and_relays() {
         let mut r = Replica::new("phone", parse("<b><v>1</v></b>").unwrap(), MergeKeys::new());
         let op = EditOp::SetText { path: NodePath::root().child("v", 0), text: "2".into() };
-        r.apply_remote(&op, "portal", 41).unwrap();
+        let portal = ActorId::intern("portal");
+        r.apply_remote(&op, portal, 41).unwrap();
         assert_eq!(r.clock, 42);
         // The op is re-logged under its ORIGINAL actor, so this replica
         // relays it onward — and the dedup set prevents echo.
         assert_eq!(r.log.len(), 1);
-        assert_eq!(r.log.since(0)[0].actor, "portal");
+        assert_eq!(r.log.since(0)[0].actor_str(), "portal");
         assert_eq!(r.log.since(0)[0].timestamp, 41);
-        assert!(r.seen.contains(&("portal".to_string(), 41)));
+        assert!(r.seen.contains(&(portal, 41)));
     }
 }

@@ -88,14 +88,14 @@ pub fn two_way_sync(
             .log
             .since(b.anchors.last_seen(&a.id))
             .iter()
-            .filter(|e| !b.seen.contains(&(e.actor.clone(), e.timestamp)))
+            .filter(|e| !b.seen.contains(&(e.actor, e.timestamp)))
             .cloned()
             .collect();
         let b_new: Vec<_> = b
             .log
             .since(a.anchors.last_seen(&b.id))
             .iter()
-            .filter(|e| !a.seen.contains(&(e.actor.clone(), e.timestamp)))
+            .filter(|e| !a.seen.contains(&(e.actor, e.timestamp)))
             .cloned()
             .collect();
 
@@ -114,7 +114,8 @@ pub fn two_way_sync(
                             report.queued.push((ea.op.clone(), eb.op.clone()));
                         }
                         _ => {
-                            if policy.first_wins(ea.timestamp, &ea.actor, eb.timestamp, &eb.actor)
+                            if policy
+                                .first_wins(ea.timestamp, ea.actor_str(), eb.timestamp, eb.actor_str())
                             {
                                 report.first_wins += 1;
                                 b_drop[j] = true;
@@ -132,11 +133,11 @@ pub fn two_way_sync(
         let mut diverged = false;
         for (j, eb) in b_new.iter().enumerate() {
             if b_drop[j] {
-                a.mark_seen(&eb.actor, eb.timestamp);
+                a.mark_seen(eb.actor, eb.timestamp);
                 continue;
             }
             report.bytes_exchanged += op_bytes(&eb.op);
-            if a.apply_remote(&eb.op, &eb.actor, eb.timestamp).is_err() {
+            if a.apply_remote(&eb.op, eb.actor, eb.timestamp).is_err() {
                 diverged = true;
             } else {
                 report.shipped_to_first += 1;
@@ -144,11 +145,11 @@ pub fn two_way_sync(
         }
         for (i, ea) in a_new.iter().enumerate() {
             if a_drop[i] {
-                b.mark_seen(&ea.actor, ea.timestamp);
+                b.mark_seen(ea.actor, ea.timestamp);
                 continue;
             }
             report.bytes_exchanged += op_bytes(&ea.op);
-            if b.apply_remote(&ea.op, &ea.actor, ea.timestamp).is_err() {
+            if b.apply_remote(&ea.op, ea.actor, ea.timestamp).is_err() {
                 diverged = true;
             } else {
                 report.shipped_to_second += 1;
@@ -174,8 +175,20 @@ pub fn two_way_sync(
         }
     }
 
-    // Slow sync: deep-merge document states; on merge conflict, take the
-    // winning side's subtree by diffing the loser onto the winner.
+    run_slow_sync(a, b, policy, &mut report);
+    Ok(report)
+}
+
+/// The slow (full-state) sync: deep-merge document states; on merge
+/// conflict, take the winning side's subtree by diffing the loser onto
+/// the winner. Shared by the oracle and the delta path — the documents
+/// being shipped whole, there is nothing to delta-encode here.
+pub(crate) fn run_slow_sync(
+    a: &mut Replica,
+    b: &mut Replica,
+    policy: ReconcilePolicy,
+    report: &mut SyncReport,
+) {
     report.fast_path = false;
     report.slow_sync = true;
     report.bytes_exchanged += a.doc.byte_size() + b.doc.byte_size();
@@ -207,7 +220,6 @@ pub fn two_way_sync(
     a.anchors.advance(&b.id, 0);
     b.anchors.advance(&a.id, 0);
     report.converged = a.doc == b.doc;
-    Ok(report)
 }
 
 /// [`two_way_sync`] under a telemetry [`Tracer`]: the session becomes a
@@ -264,7 +276,7 @@ pub fn two_way_sync_traced(
 /// only when they add the same logical entry; an insert conflicts with
 /// a delete of its container; everything else falls back to path
 /// overlap.
-fn ops_conflict(a: &EditOp, b: &EditOp, keys: &gupster_xml::MergeKeys) -> bool {
+pub(crate) fn ops_conflict(a: &EditOp, b: &EditOp, keys: &gupster_xml::MergeKeys) -> bool {
     use EditOp::*;
     match (a, b) {
         (Insert { parent: pa, element: ea }, Insert { parent: pb, element: eb }) => {
@@ -286,7 +298,7 @@ fn ops_conflict(a: &EditOp, b: &EditOp, keys: &gupster_xml::MergeKeys) -> bool {
 
 /// Stable-sorts element children by (tag, identity key) at every level.
 /// Only applies to element-content nodes (mixed content keeps order).
-fn canonicalize(e: &mut gupster_xml::Element, keys: &gupster_xml::MergeKeys) {
+pub(crate) fn canonicalize(e: &mut gupster_xml::Element, keys: &gupster_xml::MergeKeys) {
     use gupster_xml::Node;
     for ch in e.child_elements_mut() {
         canonicalize(ch, keys);
@@ -305,7 +317,7 @@ fn canonicalize(e: &mut gupster_xml::Element, keys: &gupster_xml::MergeKeys) {
     }
 }
 
-fn op_bytes(op: &EditOp) -> usize {
+pub(crate) fn op_bytes(op: &EditOp) -> usize {
     match op {
         EditOp::Insert { element, .. } => 32 + element.byte_size(),
         EditOp::Delete { path } => 16 + path.to_string().len(),

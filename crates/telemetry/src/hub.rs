@@ -53,6 +53,12 @@ pub struct Counters {
     pub sync_conflicts: AtomicU64,
     /// Sync sessions that fell back to the slow full-document path.
     pub sync_slow_paths: AtomicU64,
+    /// Changelog entries removed by compaction (truncated, coalesced,
+    /// or annihilated) across the fleet.
+    pub compacted_ops: AtomicU64,
+    /// Cache/memo entries invalidated by write-through invalidation
+    /// after committed syncs.
+    pub invalidations: AtomicU64,
     /// Open-loop requests admitted through the ingress queues.
     pub admitted: AtomicU64,
     /// Call-delivery requests shed by admission control.
@@ -118,6 +124,10 @@ pub struct CounterSnapshot {
     pub sync_conflicts: u64,
     /// Sync sessions that fell back to the slow full-document path.
     pub sync_slow_paths: u64,
+    /// Changelog entries removed by compaction across the fleet.
+    pub compacted_ops: u64,
+    /// Cache/memo entries invalidated after committed syncs.
+    pub invalidations: u64,
     /// Open-loop requests admitted through the ingress queues.
     pub admitted: u64,
     /// Call-delivery requests shed by admission control.
@@ -161,6 +171,8 @@ impl CounterSnapshot {
         self.sync_ops_shipped += other.sync_ops_shipped;
         self.sync_conflicts += other.sync_conflicts;
         self.sync_slow_paths += other.sync_slow_paths;
+        self.compacted_ops += other.compacted_ops;
+        self.invalidations += other.invalidations;
         self.admitted += other.admitted;
         self.shed_calls += other.shed_calls;
         self.shed_edits += other.shed_edits;
@@ -197,6 +209,8 @@ impl CounterSnapshot {
             ("sync_ops_shipped", self.sync_ops_shipped),
             ("sync_conflicts", self.sync_conflicts),
             ("sync_slow_paths", self.sync_slow_paths),
+            ("compacted_ops", self.compacted_ops),
+            ("invalidations", self.invalidations),
             ("admitted", self.admitted),
             ("shed_calls", self.shed_calls),
             ("shed_edits", self.shed_edits),
@@ -233,6 +247,8 @@ impl CounterSnapshot {
             "sync_ops_shipped" => &mut self.sync_ops_shipped,
             "sync_conflicts" => &mut self.sync_conflicts,
             "sync_slow_paths" => &mut self.sync_slow_paths,
+            "compacted_ops" => &mut self.compacted_ops,
+            "invalidations" => &mut self.invalidations,
             "admitted" => &mut self.admitted,
             "shed_calls" => &mut self.shed_calls,
             "shed_edits" => &mut self.shed_edits,
@@ -271,6 +287,8 @@ impl Counters {
             sync_ops_shipped: self.sync_ops_shipped.load(Ordering::Relaxed),
             sync_conflicts: self.sync_conflicts.load(Ordering::Relaxed),
             sync_slow_paths: self.sync_slow_paths.load(Ordering::Relaxed),
+            compacted_ops: self.compacted_ops.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             admitted: self.admitted.load(Ordering::Relaxed),
             shed_calls: self.shed_calls.load(Ordering::Relaxed),
             shed_edits: self.shed_edits.load(Ordering::Relaxed),
@@ -303,6 +321,8 @@ impl Counters {
         self.sync_ops_shipped.store(0, Ordering::Relaxed);
         self.sync_conflicts.store(0, Ordering::Relaxed);
         self.sync_slow_paths.store(0, Ordering::Relaxed);
+        self.compacted_ops.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
         self.admitted.store(0, Ordering::Relaxed);
         self.shed_calls.store(0, Ordering::Relaxed);
         self.shed_edits.store(0, Ordering::Relaxed);

@@ -103,6 +103,12 @@ pub mod stage {
     /// The slow path: full-document exchange and deep merge (marker
     /// plus cost when taken).
     pub const SYNC_SLOW: &str = "sync.slow";
+    /// Changelog compaction: truncation below the live-anchor floor
+    /// plus superseded-op coalescing and insert+delete annihilation.
+    pub const SYNC_COMPACT: &str = "sync.compact";
+    /// Delta-session reconciliation: building/probing the touched-path
+    /// index and dictionary-encoding the shipped op batches.
+    pub const SYNC_DELTA: &str = "sync.delta";
     /// One admission-control decision at an ingress queue (fixed cost
     /// per open-loop arrival).
     pub const ADMISSION_DECIDE: &str = "admission.decide";

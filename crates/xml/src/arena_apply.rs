@@ -1,0 +1,195 @@
+//! Applying edit operations to arena documents.
+//!
+//! The sync fast path ships [`EditOp`]s between replicas. PR 7 moved
+//! the fetch/merge hot path onto [`ArenaDoc`]; this module does the
+//! same for the *write* hot path: [`apply_arena`] replays one op
+//! against an arena document with **exactly** the semantics of
+//! [`EditOp::apply`] on the owned tree — same resolution rules, same
+//! child/attribute ordering, same error conditions — so the owned
+//! apply can serve as a byte-identical differential oracle.
+
+use crate::arena::{ArenaDoc, NodeId};
+use crate::error::XmlError;
+use crate::path::{NodePath, Step};
+use crate::tree_diff::EditOp;
+
+fn step_matches(doc: &ArenaDoc, id: NodeId, step: &Step) -> bool {
+    if doc.name(id) != step.name {
+        return false;
+    }
+    match &step.key {
+        Some((a, v)) => doc.attr(id, a) == Some(v.as_str()),
+        None => true,
+    }
+}
+
+/// Resolves a [`NodePath`] against an arena document, mirroring
+/// [`NodePath::resolve`]: each step selects the `index`-th child
+/// element matching the step's name (and key attribute, if any).
+pub fn resolve_arena(doc: &ArenaDoc, path: &NodePath) -> Option<NodeId> {
+    let mut cur = doc.root();
+    for step in &path.steps {
+        cur = doc.child_elements(cur).filter(|&c| step_matches(doc, c, step)).nth(step.index)?;
+    }
+    Some(cur)
+}
+
+/// Removes the element addressed by `path`, mirroring
+/// [`NodePath::remove`]: errors if the path does not resolve; the root
+/// cannot be removed. Returns the removed node's id (its rows become
+/// arena garbage).
+fn remove_arena(doc: &mut ArenaDoc, path: &NodePath) -> Result<NodeId, XmlError> {
+    let Some((last, prefix)) = path.steps.split_last() else {
+        return Err(XmlError::PathNotFound("cannot remove the root".into()));
+    };
+    let parent = resolve_arena(doc, &NodePath { steps: prefix.to_vec() })
+        .ok_or_else(|| XmlError::PathNotFound(path.to_string()))?;
+    let target = doc
+        .child_elements(parent)
+        .filter(|&c| step_matches(doc, c, last))
+        .nth(last.index)
+        .ok_or_else(|| XmlError::PathNotFound(path.to_string()))?;
+    doc.remove_child(parent, target);
+    Ok(target)
+}
+
+/// Applies one [`EditOp`] to an arena document. Semantics (including
+/// failure cases) match [`EditOp::apply`] on the owned tree exactly.
+pub fn apply_arena(op: &EditOp, doc: &mut ArenaDoc) -> Result<(), XmlError> {
+    match op {
+        EditOp::Insert { parent, element } => {
+            let p = resolve_arena(doc, parent)
+                .ok_or_else(|| XmlError::PathNotFound(parent.to_string()))?;
+            let child = doc.graft_element(element);
+            doc.push_child(p, child);
+            Ok(())
+        }
+        EditOp::Delete { path } => remove_arena(doc, path).map(|_| ()),
+        EditOp::SetText { path, text } => {
+            let e = resolve_arena(doc, path)
+                .ok_or_else(|| XmlError::PathNotFound(path.to_string()))?;
+            doc.set_text(e, text);
+            Ok(())
+        }
+        EditOp::SetAttr { path, name, value } => {
+            let e = resolve_arena(doc, path)
+                .ok_or_else(|| XmlError::PathNotFound(path.to_string()))?;
+            doc.set_attr(e, name, value);
+            Ok(())
+        }
+        EditOp::RemoveAttr { path, name } => {
+            let e = resolve_arena(doc, path)
+                .ok_or_else(|| XmlError::PathNotFound(path.to_string()))?;
+            doc.remove_attr(e, name);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Element;
+    use crate::parse;
+
+    fn sample() -> Element {
+        parse(
+            r#"<book><item id="a"><n>A</n></item><item id="b"><n>B</n></item><note>x</note></book>"#,
+        )
+        .unwrap()
+    }
+
+    /// Applies `op` both ways and asserts identical outcomes (success
+    /// and resulting tree, or failure on both).
+    fn check(op: EditOp) {
+        let mut owned = sample();
+        let mut arena = ArenaDoc::from_element(&owned);
+        let r_owned = op.apply(&mut owned);
+        let r_arena = apply_arena(&op, &mut arena);
+        assert_eq!(r_owned.is_ok(), r_arena.is_ok(), "op {op:?}");
+        assert_eq!(owned, arena.root_element(), "op {op:?}");
+    }
+
+    #[test]
+    fn ops_mirror_owned_apply() {
+        let item_a = NodePath::root().keyed("item", "id", "a");
+        check(EditOp::SetText { path: item_a.clone().child("n", 0), text: "A2".into() });
+        check(EditOp::SetText { path: NodePath::root().child("note", 0), text: "y".into() });
+        check(EditOp::SetText { path: NodePath::root(), text: "top".into() });
+        check(EditOp::SetAttr { path: item_a.clone(), name: "id".into(), value: "z".into() });
+        check(EditOp::SetAttr { path: item_a.clone(), name: "fresh".into(), value: "1".into() });
+        check(EditOp::RemoveAttr { path: item_a.clone(), name: "id".into() });
+        check(EditOp::RemoveAttr { path: item_a.clone(), name: "absent".into() });
+        check(EditOp::Delete { path: item_a.clone() });
+        check(EditOp::Delete { path: NodePath::root().child("note", 0) });
+        check(EditOp::Insert {
+            parent: NodePath::root(),
+            element: Element::new("item")
+                .with_attr("id", "c")
+                .with_child(Element::new("n").with_text("C")),
+        });
+        check(EditOp::Insert { parent: item_a, element: Element::new("tag").with_text("t") });
+    }
+
+    #[test]
+    fn failures_mirror_owned_apply() {
+        check(EditOp::SetText { path: NodePath::root().child("ghost", 0), text: "x".into() });
+        check(EditOp::Delete { path: NodePath::root().keyed("item", "id", "zz") });
+        check(EditOp::Delete { path: NodePath::root() });
+        check(EditOp::Insert {
+            parent: NodePath::root().child("ghost", 0),
+            element: Element::new("e"),
+        });
+    }
+
+    #[test]
+    fn sequences_keep_mirroring() {
+        // Edits whose applicability depends on earlier edits.
+        let mut owned = sample();
+        let mut arena = ArenaDoc::from_element(&owned);
+        let ops = [
+            EditOp::Insert {
+                parent: NodePath::root(),
+                element: Element::new("item").with_attr("id", "c"),
+            },
+            EditOp::SetText {
+                path: NodePath::root().keyed("item", "id", "c"),
+                text: "fresh".into(),
+            },
+            EditOp::SetAttr {
+                path: NodePath::root().keyed("item", "id", "c"),
+                name: "id".into(),
+                value: "d".into(),
+            },
+            // Old key no longer resolves.
+            EditOp::SetText { path: NodePath::root().keyed("item", "id", "c"), text: "!".into() },
+            EditOp::Delete { path: NodePath::root().keyed("item", "id", "d") },
+        ];
+        for op in &ops {
+            let r_owned = op.apply(&mut owned);
+            let r_arena = apply_arena(op, &mut arena);
+            assert_eq!(r_owned.is_ok(), r_arena.is_ok(), "op {op:?}");
+        }
+        assert_eq!(owned, arena.root_element());
+    }
+
+    #[test]
+    fn resolve_mirrors_owned_resolution() {
+        let owned = sample();
+        let arena = ArenaDoc::from_element(&owned);
+        for path in [
+            NodePath::root(),
+            NodePath::root().keyed("item", "id", "b"),
+            NodePath::root().child("item", 1),
+            NodePath::root().keyed("item", "id", "zz"),
+            NodePath::root().child("nope", 0),
+        ] {
+            let o = path.resolve(&owned);
+            let a = resolve_arena(&arena, &path);
+            assert_eq!(o.is_some(), a.is_some(), "path {path}");
+            if let (Some(o), Some(a)) = (o, a) {
+                assert_eq!(*o, arena.to_element(a), "path {path}");
+            }
+        }
+    }
+}

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 mod arena;
+mod arena_apply;
 mod arena_merge;
 mod error;
 mod escape;
@@ -42,11 +43,12 @@ mod tree_diff;
 mod writer;
 
 pub use arena::{ArenaChild, ArenaDoc, NodeId};
+pub use arena_apply::{apply_arena, resolve_arena};
 pub use arena_merge::{merge_arena, merge_arena_all, MergeOut, MergeStats};
 pub use error::{ParseError, XmlError};
 pub use intern::{NameId, NameInterner};
 pub use merge::{merge, merge_all, MergeKeys};
 pub use node::{Element, Node};
 pub use parser::parse;
-pub use path::NodePath;
+pub use path::{NodePath, Step};
 pub use tree_diff::{diff, EditOp};
